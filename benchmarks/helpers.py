@@ -1,0 +1,46 @@
+"""Shared workload builders for the benchmark suite."""
+
+from repro.core import ESCAPE
+from repro.core.sgfile import load_service_graph, load_topology
+
+
+def demo_topology(containers=2, container_ports=6, cpu=16.0,
+                  mem=16384.0):
+    """The benchmark substrate: two switches, two hosts, N containers."""
+    nodes = [
+        {"name": "h1", "role": "host"},
+        {"name": "h2", "role": "host"},
+        {"name": "s1", "role": "switch"},
+        {"name": "s2", "role": "switch"},
+    ]
+    links = [
+        {"from": "h1", "to": "s1", "bandwidth": 1e9, "delay": 0.001},
+        {"from": "s1", "to": "s2", "bandwidth": 1e9, "delay": 0.002},
+        {"from": "h2", "to": "s2", "bandwidth": 1e9, "delay": 0.001},
+    ]
+    for index in range(containers):
+        name = "nc%d" % (index + 1)
+        nodes.append({"name": name, "role": "vnf_container",
+                      "cpu": cpu, "mem": mem})
+        switch = "s1" if index % 2 == 0 else "s2"
+        links.extend({"from": name, "to": switch, "delay": 0.0005}
+                     for _ in range(container_ports))
+    return load_topology({"nodes": nodes, "links": links})
+
+
+def chain_sg(length, name="bench-chain", vnf_type="forwarder"):
+    """A linear chain h1 -> VNF x length -> h2."""
+    vnf_names = ["v%d" % index for index in range(length)]
+    return load_service_graph({
+        "name": name,
+        "saps": ["h1", "h2"],
+        "vnfs": [{"name": vnf, "type": vnf_type} for vnf in vnf_names],
+        "chain": ["h1"] + vnf_names + ["h2"],
+    })
+
+
+def started_escape(containers=2, container_ports=6, **kwargs):
+    escape = ESCAPE.from_topology(
+        demo_topology(containers, container_ports, **kwargs))
+    escape.start()
+    return escape

@@ -1,0 +1,56 @@
+"""OF1 — OpenFlow wire-format ablation: control-plane cost with
+messages passed as objects vs round-tripped through the real OF 1.0
+binary encoding (``ESCAPE(of_wire=True)``)."""
+
+import pytest
+
+from benchmarks.helpers import chain_sg, demo_topology
+from repro.core import ESCAPE
+from repro.openflow import FlowMod, Match, Output
+from repro.openflow.wire import pack_message, unpack_message
+
+
+@pytest.mark.parametrize("of_wire", [False, True])
+def test_deploy_latency_by_encoding(benchmark, of_wire):
+    escape = ESCAPE.from_topology(demo_topology(containers=2),
+                                  of_wire=of_wire)
+    escape.start()
+    counter = {"n": 0}
+
+    def deploy():
+        counter["n"] += 1
+        chain = escape.deploy_service(
+            chain_sg(2, name="wire-%d" % counter["n"]))
+        chain.undeploy()
+    benchmark.pedantic(deploy, rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("of_wire", [False, True])
+def test_ping_latency_by_encoding(benchmark, of_wire):
+    """Reactive forwarding (packet-in/flow-mod/packet-out round trips)
+    is the encoding-heaviest path."""
+    escape = ESCAPE.from_topology(demo_topology(containers=2),
+                                  of_wire=of_wire)
+    escape.start()
+    h1, h2 = escape.net.get("h1"), escape.net.get("h2")
+
+    def ping():
+        result = h1.ping(h2.ip, count=3, interval=0.05)
+        escape.run(1.0)
+        assert result.received == 3
+    benchmark.pedantic(ping, rounds=5, iterations=1)
+
+
+def test_flow_mod_codec_throughput(benchmark):
+    """pack+unpack cycles/second for the hot message type."""
+    message = FlowMod(Match(in_port=1, dl_type=0x0800,
+                            nw_src="10.0.0.1", nw_dst="10.0.0.2",
+                            nw_proto=17, tp_dst=5001),
+                      [Output(2)], priority=0x6000, idle_timeout=10)
+
+    def cycle():
+        for _ in range(1000):
+            again = unpack_message(pack_message(message))
+        assert again.match.tp_dst == 5001
+    benchmark.pedantic(cycle, rounds=5, iterations=1)
+    benchmark.extra_info["messages_per_round"] = 1000

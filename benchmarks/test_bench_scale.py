@@ -1,0 +1,97 @@
+"""SCALE1/SCALE2 — the scalability claims.
+
+SCALE1: "scaling up to hundreds of nodes" (the Mininet property ESCAPE
+inherits) — emulation setup time vs node count should stay roughly
+linear.
+
+SCALE2: on-demand chain setup latency vs chain length, with a breakdown
+of where the time goes (mapping vs NETCONF vs steering).
+"""
+
+import pytest
+
+from benchmarks.helpers import chain_sg, started_escape
+from repro.netem import LinearTopo, Network
+from repro.pox import Core, L2LearningSwitch, OpenFlowNexus
+
+
+@pytest.mark.parametrize("nodes", [10, 50, 100, 200, 400])
+def test_setup_time_vs_nodes(benchmark, nodes):
+    """SCALE1: build + start a linear network of ~``nodes`` nodes."""
+    switches = nodes // 2
+
+    def build():
+        net = Network.build(LinearTopo(k=switches, n=1))
+        nexus = OpenFlowNexus(Core(net.sim))
+        L2LearningSwitch(nexus)
+        net.add_controller(nexus)
+        net.start()
+        net.run(0.1)
+        assert len(nexus.connections) == switches
+        net.stop()
+    benchmark.pedantic(build, rounds=3, iterations=1)
+
+
+def _measure_deploy(length):
+    escape = started_escape(containers=4, container_ports=length + 2)
+    client_rpcs_before = sum(client.rpcs_sent for client
+                             in escape.netconf_clients.values())
+    flow_mods_before = escape.steering.flow_mods_sent
+    sim_before = escape.sim.now
+    chain = escape.deploy_service(chain_sg(length))
+    row = {
+        "length": length,
+        "netconf_rpcs": sum(client.rpcs_sent for client
+                            in escape.netconf_clients.values())
+        - client_rpcs_before,
+        "flow_mods": escape.steering.flow_mods_sent - flow_mods_before,
+        "sim_seconds": escape.sim.now - sim_before,
+    }
+    chain.undeploy()
+    escape.stop()
+    return row
+
+
+@pytest.mark.parametrize("length", [1, 2, 4, 8, 16])
+def test_chain_setup_latency(benchmark, length):
+    """SCALE2: wall-clock deploy latency vs chain length."""
+    escape = started_escape(containers=4,
+                            container_ports=length + 2)
+    counter = {"n": 0}
+
+    def deploy():
+        counter["n"] += 1
+        chain = escape.deploy_service(
+            chain_sg(length, name="scale-%d" % counter["n"]))
+        chain.undeploy()
+    benchmark.pedantic(deploy, rounds=5, iterations=1)
+
+
+def test_chain_setup_breakdown(benchmark):
+    """SCALE2 detail: simulated-time cost split of one deploy.
+
+    Prints the management-plane (NETCONF) and control-plane (flow-mod)
+    message counts per chain length — the paper's 'on demand' claim in
+    numbers.  Not a timing benchmark; assertions encode the expected
+    shape (both grow linearly with chain length).
+    """
+    rows = []
+
+    def measure():
+        for length in (1, 2, 4, 8):
+            rows.append(_measure_deploy(length))
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nSCALE2 breakdown (per deploy):")
+    print("%8s %14s %10s %12s" % ("length", "netconf-rpcs", "flow-mods",
+                                  "sim-time[s]"))
+    for row in rows:
+        print("%8d %14d %10d %12.4f"
+              % (row["length"], row["netconf_rpcs"], row["flow_mods"],
+                 row["sim_seconds"]))
+    # shape: RPCs = 3 per VNF (start + 2 connects), linear in length
+    assert rows[0]["netconf_rpcs"] == 3
+    assert rows[-1]["netconf_rpcs"] == 3 * 8
+    # flow-mods grow with chain length too
+    assert rows[-1]["flow_mods"] > rows[0]["flow_mods"]
+    # management-plane latency dominates and is linear-ish
+    assert rows[-1]["sim_seconds"] > rows[0]["sim_seconds"]

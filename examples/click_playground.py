@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""The Click modular router, standalone — a VNF developer's playground.
+
+The paper's pitch is that ESCAPE "fosters VNF development".  Before a
+VNF ever reaches a container, its Click configuration can be built and
+exercised directly.  This walk-through shows the language features the
+reproduction supports: declarations, multi-port wiring, push/pull
+boundaries, read/write handlers, and parameterized compound elements
+(``elementclass``) — plus the test-harness idiom of hand-crafting
+packets and pushing them into the graph.
+
+Run:  python examples/click_playground.py
+"""
+
+from repro.click import ClickPacket, Router
+from repro.packet import Ethernet, IPv4, TCP, UDP
+from repro.sim import Simulator
+
+CONFIG = """
+// A reusable, parameterized building block: a rate limiter with its
+// own queue and drop accounting.  $rate is bound per instance.
+elementclass RateStage {
+  $rate |
+  input -> q :: Queue(64)
+        -> sh :: Shaper($rate)
+        -> Unqueue
+        -> output;
+}
+
+// A reusable classifier block with two outputs.
+elementclass ProtoSplit {
+  input -> cl :: IPClassifier(udp, -);
+  cl[0] -> [0]output;    // UDP on port 0
+  cl[1] -> [1]output;    // everything else on port 1
+}
+
+// The pipeline under test.  Idle stands in for the device the VNF
+// would attach to; the harness pushes crafted packets directly.
+entry :: Idle -> sp :: ProtoSplit;
+sp[0] -> udp_in :: Counter -> limited :: RateStage(100)
+      -> udp_out :: Counter -> Discard;
+sp[1] -> other :: Counter -> Discard;
+"""
+
+
+def udp_packet(index):
+    return ClickPacket.from_header(Ethernet(
+        src="00:00:00:00:00:01", dst="00:00:00:00:00:02",
+        type=Ethernet.IP_TYPE,
+        payload=IPv4(srcip="10.0.0.1", dstip="10.0.0.2",
+                     protocol=IPv4.UDP_PROTOCOL,
+                     payload=UDP(srcport=1000 + index, dstport=53,
+                                 payload=b"query"))))
+
+
+def tcp_packet():
+    return ClickPacket.from_header(Ethernet(
+        src="00:00:00:00:00:01", dst="00:00:00:00:00:02",
+        type=Ethernet.IP_TYPE,
+        payload=IPv4(srcip="10.0.0.1", dstip="10.0.0.2",
+                     protocol=IPv4.TCP_PROTOCOL,
+                     payload=TCP(srcport=1, dstport=80))))
+
+
+def main():
+    sim = Simulator()
+    router = Router.from_config(CONFIG, sim=sim, name="playground")
+
+    print("elements after elementclass expansion:")
+    for name, element in sorted(router.elements.items()):
+        print("  %-24s %s" % (name, type(element).__name__))
+
+    router.start()
+    split = router.element("sp/cl")
+
+    # a 2-second burst: 500 UDP pps plus some TCP noise
+    def burst(index=0):
+        if index >= 1000:
+            return
+        split.push(0, udp_packet(index))
+        if index % 10 == 0:
+            split.push(0, tcp_packet())
+        sim.schedule(0.002, burst, index + 1)
+
+    burst()
+    sim.run(until=3.0)
+
+    print("\nhandlers after the burst:")
+    for path in ("udp_in.count", "udp_out.count", "other.count",
+                 "limited/q.drops", "limited/sh.rate"):
+        print("  %-18s = %s" % (path, router.read_handler(path)))
+
+    # runtime reconfiguration through a write handler inside a compound
+    print("\nraising the limiter to 400 pps at runtime...")
+    router.write_handler("limited/sh.rate", "400")
+    before = int(router.read_handler("udp_out.count"))
+    burst()
+    sim.run(until=6.0)
+    delta = int(router.read_handler("udp_out.count")) - before
+    print("packets through the limiter this time: %d "
+          "(vs ~200 at 100 pps)" % delta)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""The Mininet-style console over a running ESCAPE topology.
+
+Scripted by default (so it runs under CI); pass ``--interactive`` for a
+real REPL.  Commands: nodes, net, links, dump, ping, pingall, flows,
+vnfs, resources.
+
+Run:  python examples/interactive_cli.py [--interactive]
+"""
+
+import sys
+
+from repro.core import ESCAPE
+from repro.core.sgfile import load_service_graph, load_topology
+
+TOPOLOGY = {
+    "nodes": [
+        {"name": "h1", "role": "host"},
+        {"name": "h2", "role": "host"},
+        {"name": "h3", "role": "host"},
+        {"name": "s1", "role": "switch"},
+        {"name": "s2", "role": "switch"},
+        {"name": "nc1", "role": "vnf_container", "cpu": 4, "mem": 2048},
+    ],
+    "links": [
+        {"from": "h1", "to": "s1", "delay": 0.001},
+        {"from": "h2", "to": "s2", "delay": 0.001},
+        {"from": "h3", "to": "s2", "delay": 0.001},
+        {"from": "s1", "to": "s2", "delay": 0.002},
+        {"from": "nc1", "to": "s1", "delay": 0.0005},
+        {"from": "nc1", "to": "s1", "delay": 0.0005},
+    ],
+}
+
+SERVICE_GRAPH = {
+    "name": "cli-demo-chain",
+    "saps": ["h1", "h2"],
+    "vnfs": [{"name": "fw", "type": "firewall",
+              "params": {"rules": "allow all"}}],
+    "chain": ["h1", "fw", "h2"],
+}
+
+SCRIPT = [
+    "help",
+    "nodes",
+    "net",
+    "ping h1 h2 2",
+    "pingall",
+    "flows s1",
+    "vnfs",
+    "resources",
+    "services",
+    "catalog",
+    "topology",
+]
+
+
+def main():
+    escape = ESCAPE.from_topology(load_topology(TOPOLOGY))
+    escape.start()
+    escape.deploy_service(load_service_graph(SERVICE_GRAPH))
+    cli = escape.cli()
+
+    if "--interactive" in sys.argv:
+        cli.interact()
+        return
+
+    for command in SCRIPT:
+        print("escape> %s" % command)
+        output = cli.run_command(command)
+        if output:
+            print(output)
+        print()
+
+
+if __name__ == "__main__":
+    main()

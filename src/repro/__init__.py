@@ -1,0 +1,26 @@
+"""ESCAPE reproduction — Extensible Service ChAin Prototyping Environment.
+
+A pure-Python reproduction of Csoma et al., "ESCAPE: Extensible Service
+ChAin Prototyping Environment using Mininet, Click, NETCONF and POX"
+(SIGCOMM 2014 demo), with every substrate re-implemented on a
+deterministic discrete-event simulator:
+
+=================  ==========================================
+paper component    this package
+=================  ==========================================
+Mininet            :mod:`repro.netem`
+Click + Clicky     :mod:`repro.click` (+ :mod:`repro.core.monitor`)
+Open vSwitch       :mod:`repro.openflow`
+POX                :mod:`repro.pox`
+OpenYuma/NETCONF   :mod:`repro.netconf`
+ESCAPE itself      :mod:`repro.core`
+=================  ==========================================
+
+Entry point: :class:`repro.core.ESCAPE`.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.escape import ESCAPE
+
+__all__ = ["ESCAPE", "__version__"]

@@ -1,0 +1,213 @@
+"""Element base class: ports, processing personalities, handlers.
+
+Click's processing model has two packet-transfer disciplines:
+
+* **push** — the upstream element calls ``downstream.push(port, pkt)``,
+* **pull** — the downstream element calls ``upstream.pull(port)``.
+
+Every port has a *personality*: PUSH, PULL, or AGNOSTIC.  Agnostic
+elements (e.g. ``Counter``) work either way; the router resolves their
+effective direction from their neighbours at configuration time and
+rejects graphs that connect a push output to a pull input without a
+queue in between — the same check real Click performs.
+"""
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.click.errors import ClickError, ConfigError
+from repro.click.packet import ClickPacket
+
+PUSH = "push"
+PULL = "pull"
+AGNOSTIC = "agnostic"
+
+
+class HandlerError(ClickError):
+    """A handler does not exist or rejected its input."""
+
+
+class Port:
+    """One endpoint of an element; wired to peer port(s) by the router.
+
+    Click allows fan-in on push inputs (several upstream outputs feeding
+    one input), so an input port keeps a *list* of peers; an output port
+    has at most one.  ``peer`` exposes the single/first peer for the
+    pull path.
+    """
+
+    __slots__ = ("element", "index", "is_input", "personality", "peers",
+                 "resolved")
+
+    def __init__(self, element: "Element", index: int, is_input: bool,
+                 personality: str):
+        self.element = element
+        self.index = index
+        self.is_input = is_input
+        self.personality = personality
+        self.resolved: Optional[str] = None  # PUSH or PULL after analysis
+        self.peers: List["Port"] = []
+
+    @property
+    def peer(self) -> Optional["Port"]:
+        return self.peers[0] if self.peers else None
+
+    @peer.setter
+    def peer(self, port: Optional["Port"]) -> None:
+        self.peers = [port] if port is not None else []
+
+    @property
+    def connected(self) -> bool:
+        return bool(self.peers)
+
+    def __repr__(self) -> str:
+        direction = "in" if self.is_input else "out"
+        return "Port(%s[%d] %s/%s)" % (self.element.name, self.index,
+                                       direction,
+                                       self.resolved or self.personality)
+
+
+class Element:
+    """Base class for all Click elements.
+
+    Subclasses declare their port layout via class attributes:
+
+    * ``INPUT_COUNT`` / ``OUTPUT_COUNT`` — fixed counts, or ``None`` for
+      "any number" (resolved from the configuration's connections),
+    * ``INPUT_PERSONALITY`` / ``OUTPUT_PERSONALITY`` — PUSH / PULL /
+      AGNOSTIC applied to every port of that side,
+
+    and implement :meth:`configure` (parse the config-string arguments),
+    :meth:`push` and/or :meth:`pull`, and optionally :meth:`initialize`
+    (called once the graph is wired, with the router available).
+    """
+
+    INPUT_COUNT: Optional[int] = 1
+    OUTPUT_COUNT: Optional[int] = 1
+    INPUT_PERSONALITY = AGNOSTIC
+    OUTPUT_PERSONALITY = AGNOSTIC
+
+    def __init__(self, name: str, config: str = ""):
+        self.name = name
+        self.config = config
+        self.router = None  # set by Router
+        self.inputs: List[Port] = []
+        self.outputs: List[Port] = []
+        self._read_handlers: Dict[str, Callable[[], str]] = {}
+        self._write_handlers: Dict[str, Callable[[str], None]] = {}
+        self.add_read_handler("config", lambda: self.config)
+        self.add_read_handler("class", lambda: type(self).__name__)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        """Parse configuration arguments.  Default: reject any."""
+        if args or keywords:
+            raise ConfigError("%s: unexpected configuration %r %r"
+                              % (self.name, args, keywords))
+
+    def initialize(self) -> None:
+        """Called once ports are wired and ``self.router`` is set."""
+
+    def cleanup(self) -> None:
+        """Called when the router stops."""
+
+    # -- port construction (router-internal) -------------------------------
+
+    def _build_ports(self, n_inputs: int, n_outputs: int) -> None:
+        self.inputs = [Port(self, i, True, self.INPUT_PERSONALITY)
+                       for i in range(n_inputs)]
+        self.outputs = [Port(self, i, False, self.OUTPUT_PERSONALITY)
+                        for i in range(n_outputs)]
+
+    @property
+    def ninputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def noutputs(self) -> int:
+        return len(self.outputs)
+
+    # -- packet transfer ----------------------------------------------------
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        """Receive a pushed packet on input ``port``."""
+        raise ClickError("%s (%s) does not support push"
+                         % (self.name, type(self).__name__))
+
+    def pull(self, port: int) -> Optional[ClickPacket]:
+        """Produce a packet for output ``port`` (None when empty)."""
+        raise ClickError("%s (%s) does not support pull"
+                         % (self.name, type(self).__name__))
+
+    def output_push(self, port: int, packet: ClickPacket) -> None:
+        """Push ``packet`` out of output ``port`` to the wired peer."""
+        out = self.outputs[port]
+        if out.peer is None:
+            return  # unconnected output silently drops, like Idle
+        out.peer.element.push(out.peer.index, packet)
+
+    def input_pull(self, port: int) -> Optional[ClickPacket]:
+        """Pull a packet from whatever feeds input ``port``."""
+        inp = self.inputs[port]
+        if inp.peer is None:
+            return None
+        return inp.peer.element.pull(inp.peer.index)
+
+    # -- handlers ------------------------------------------------------------
+
+    def add_read_handler(self, name: str, func: Callable[[], Any]) -> None:
+        self._read_handlers[name] = func
+
+    def add_write_handler(self, name: str,
+                          func: Callable[[str], None]) -> None:
+        self._write_handlers[name] = func
+
+    def read_handler(self, name: str) -> str:
+        func = self._read_handlers.get(name)
+        if func is None:
+            raise HandlerError("%s has no read handler %r" % (self.name, name))
+        return str(func())
+
+    def write_handler(self, name: str, value: str) -> None:
+        func = self._write_handlers.get(name)
+        if func is None:
+            raise HandlerError("%s has no write handler %r"
+                               % (self.name, name))
+        func(value)
+
+    def handler_names(self) -> Tuple[List[str], List[str]]:
+        """(read handler names, write handler names), sorted."""
+        return (sorted(self._read_handlers), sorted(self._write_handlers))
+
+    # -- config-string helpers -----------------------------------------------
+
+    @staticmethod
+    def parse_keywords(args: List[str],
+                       keys: List[str]) -> Tuple[List[str], Dict[str, str]]:
+        """Split Click-style positional args from ``KEY value`` pairs.
+
+        Click configurations mix positionals with all-caps keywords:
+        ``RatedSource(DATA xyz, RATE 10, LIMIT -1)``.  ``keys`` lists the
+        recognised keyword names.
+        """
+        positionals: List[str] = []
+        keywords: Dict[str, str] = {}
+        for arg in args:
+            head, _, tail = arg.partition(" ")
+            if head in keys:
+                keywords[head] = tail.strip()
+            else:
+                positionals.append(arg)
+        return positionals, keywords
+
+    @staticmethod
+    def parse_bool(text: str) -> bool:
+        lowered = text.strip().lower()
+        if lowered in ("true", "1", "yes"):
+            return True
+        if lowered in ("false", "0", "no"):
+            return False
+        raise ConfigError("not a boolean: %r" % text)
+
+    def __repr__(self) -> str:
+        return "%s(%s)" % (type(self).__name__, self.name)

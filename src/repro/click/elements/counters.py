@@ -1,0 +1,115 @@
+"""Counting elements — the handlers the Clicky-style monitor reads."""
+
+from typing import Dict, List, Optional
+
+from repro.click.element import Element
+from repro.click.packet import ClickPacket
+from repro.click.registry import element_class
+
+
+@element_class()
+class Counter(Element):
+    """Pass-through packet/byte counter.
+
+    Handlers: ``count``, ``byte_count``, ``rate`` (packets/s over the
+    element's lifetime), ``bit_rate`` (read); ``reset`` (write).
+    """
+
+    INPUT_COUNT = 1
+    OUTPUT_COUNT = 1
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.count = 0
+        self.byte_count = 0
+        self._first_seen: Optional[float] = None
+        self._last_seen: Optional[float] = None
+        self.add_read_handler("count", lambda: self.count)
+        self.add_read_handler("byte_count", lambda: self.byte_count)
+        self.add_read_handler("rate", self._rate)
+        self.add_read_handler("bit_rate", self._bit_rate)
+        self.add_write_handler("reset", lambda _value: self.reset())
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        pass
+
+    def reset(self) -> None:
+        self.count = 0
+        self.byte_count = 0
+        self._first_seen = None
+        self._last_seen = None
+
+    def _elapsed(self) -> float:
+        if self._first_seen is None or self._last_seen is None:
+            return 0.0
+        return self._last_seen - self._first_seen
+
+    def _rate(self) -> float:
+        elapsed = self._elapsed()
+        return self.count / elapsed if elapsed > 0 else 0.0
+
+    def _bit_rate(self) -> float:
+        elapsed = self._elapsed()
+        return self.byte_count * 8 / elapsed if elapsed > 0 else 0.0
+
+    def _note(self, packet: ClickPacket) -> None:
+        self.count += 1
+        self.byte_count += len(packet)
+        now = self.router.sim.now if self.router else 0.0
+        if self._first_seen is None:
+            self._first_seen = now
+        self._last_seen = now
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        self._note(packet)
+        self.output_push(0, packet)
+
+    def pull(self, port: int) -> Optional[ClickPacket]:
+        packet = self.input_pull(0)
+        if packet is not None:
+            self._note(packet)
+        return packet
+
+
+@element_class()
+class AverageCounter(Counter):
+    """Counter that also reports exponentially-weighted short-term rates.
+
+    Extra handlers: ``ewma_rate`` (read), with smoothing factor ALPHA
+    (default 0.3) configurable.
+    """
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.alpha = 0.3
+        self._ewma = 0.0
+        self._window_start: Optional[float] = None
+        self._window_count = 0
+        self.window = 0.1  # seconds
+        self.add_read_handler("ewma_rate", lambda: self._ewma)
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        positionals, kw = self.parse_keywords(args, ["ALPHA", "WINDOW"])
+        if positionals:
+            self.alpha = float(positionals[0])
+            positionals = positionals[1:]
+        if positionals:
+            raise ValueError("%s: too many arguments" % self.name)
+        if "ALPHA" in kw:
+            self.alpha = float(kw["ALPHA"])
+        if "WINDOW" in kw:
+            self.window = float(kw["WINDOW"])
+
+    def _note(self, packet: ClickPacket) -> None:
+        super()._note(packet)
+        now = self.router.sim.now if self.router else 0.0
+        if self._window_start is None:
+            self._window_start = now
+        self._window_count += 1
+        elapsed = now - self._window_start
+        if elapsed >= self.window:
+            sample = self._window_count / elapsed
+            self._ewma = (self.alpha * sample
+                          + (1.0 - self.alpha) * self._ewma)
+            self._window_start = now
+            self._window_count = 0

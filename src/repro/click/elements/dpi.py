@@ -1,0 +1,71 @@
+"""Payload-inspection (DPI) element."""
+
+from typing import Dict, List
+
+from repro.click.element import PUSH, Element
+from repro.click.errors import ConfigError
+from repro.click.packet import ClickPacket
+from repro.click.registry import element_class
+
+
+@element_class()
+class StringMatcher(Element):
+    """``StringMatcher(pattern0, pattern1, ...)`` — scan the raw frame
+    for each byte pattern; the first match routes the packet to that
+    pattern's output.  Clean packets leave on the *last* output (so with
+    N patterns the element has N+1 outputs, matching Click's
+    StringMatcher convention of a fall-through port).
+
+    This is the paper's stand-in "DPI" VNF: signature matching over
+    payloads with per-signature counters.
+
+    Handlers: ``match<i>_count``, ``total``, ``clean`` (read);
+    ``reset`` (write).
+    """
+
+    INPUT_COUNT = 1
+    OUTPUT_COUNT = None
+    INPUT_PERSONALITY = PUSH
+    OUTPUT_PERSONALITY = PUSH
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.patterns: List[bytes] = []
+        self.match_counts: List[int] = []
+        self.total = 0
+        self.clean = 0
+        self.add_read_handler("total", lambda: self.total)
+        self.add_read_handler("clean", lambda: self.clean)
+        self.add_write_handler("reset", lambda _value: self._reset())
+
+    def _reset(self) -> None:
+        self.total = 0
+        self.clean = 0
+        self.match_counts = [0] * len(self.patterns)
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        if not args:
+            raise ConfigError("%s: needs at least one pattern" % self.name)
+        for index, pattern in enumerate(args):
+            text = pattern.strip()
+            if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+                text = text[1:-1]
+            if not text:
+                raise ConfigError("%s: empty pattern" % self.name)
+            self.patterns.append(text.encode())
+            self.match_counts.append(0)
+            self.add_read_handler("match%d_count" % index,
+                                  lambda i=index: self.match_counts[i])
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        self.total += 1
+        data = packet.data
+        for index, pattern in enumerate(self.patterns):
+            if pattern in data:
+                self.match_counts[index] += 1
+                if index < self.noutputs:
+                    self.output_push(index, packet)
+                return
+        self.clean += 1
+        if self.noutputs:
+            self.output_push(self.noutputs - 1, packet)

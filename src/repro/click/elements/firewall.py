@@ -1,0 +1,82 @@
+"""Stateless firewall element built on the IP filter expression compiler."""
+
+from typing import Dict, List
+
+from repro.click.element import PUSH, Element
+from repro.click.errors import ConfigError
+from repro.click.elements.classifiers import Predicate, compile_ip_filter
+from repro.click.packet import ClickPacket
+from repro.click.registry import element_class
+
+
+@element_class()
+class IPFilter(Element):
+    """``IPFilter(allow <expr>, drop <expr>, ...)`` — first matching rule
+    decides; packets matching no rule are dropped (default-deny, like
+    Click's IPFilter).
+
+    Allowed packets leave on output 0; dropped packets go to output 1
+    when connected (for logging taps), otherwise vanish.
+
+    Handlers: ``rules`` (read, the rule table), ``passed``, ``dropped``
+    (read), ``add_rule`` (write, appends e.g. ``"drop src host 1.2.3.4"``).
+    """
+
+    INPUT_COUNT = 1
+    OUTPUT_COUNT = None
+    INPUT_PERSONALITY = PUSH
+    OUTPUT_PERSONALITY = PUSH
+    ALLOW_UNCONNECTED = True
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.rules: List[tuple] = []  # (action, expression text, predicate)
+        self.passed = 0
+        self.dropped = 0
+        self.rule_hits: List[int] = []
+        self.add_read_handler("rules", self._dump_rules)
+        self.add_read_handler("passed", lambda: self.passed)
+        self.add_read_handler("dropped", lambda: self.dropped)
+        self.add_write_handler("add_rule", self._add_rule_handler)
+
+    def _dump_rules(self) -> str:
+        return "\n".join("%d %s %s (hits %d)" % (index, action, text, hits)
+                         for index, ((action, text, _pred), hits)
+                         in enumerate(zip(self.rules, self.rule_hits)))
+
+    def _parse_rule(self, rule: str) -> tuple:
+        action, _, expression = rule.strip().partition(" ")
+        if action not in ("allow", "drop", "deny"):
+            raise ConfigError("%s: rule must start with allow/drop, got %r"
+                              % (self.name, rule))
+        if action == "deny":
+            action = "drop"
+        expression = expression.strip() or "all"
+        return (action, expression, compile_ip_filter(expression))
+
+    def _add_rule_handler(self, value: str) -> None:
+        self.rules.append(self._parse_rule(value))
+        self.rule_hits.append(0)
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        if not args:
+            raise ConfigError("%s: needs at least one rule" % self.name)
+        for rule in args:
+            self.rules.append(self._parse_rule(rule))
+            self.rule_hits.append(0)
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        for index, (action, _text, predicate) in enumerate(self.rules):
+            if predicate(packet):
+                self.rule_hits[index] += 1
+                if action == "allow":
+                    self.passed += 1
+                    self.output_push(0, packet)
+                else:
+                    self.dropped += 1
+                    if self.noutputs > 1:
+                        self.output_push(1, packet)
+                return
+        self.dropped += 1
+        if self.noutputs > 1:
+            self.output_push(1, packet)

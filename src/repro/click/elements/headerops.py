@@ -1,0 +1,325 @@
+"""Header manipulation and protocol-responder elements."""
+
+from typing import Dict, List, Optional
+
+from repro.click.element import PUSH, Element
+from repro.click.errors import ConfigError
+from repro.click.packet import ClickPacket
+from repro.click.registry import element_class
+from repro.packet import ARP, EthAddr, Ethernet, ICMP, IPAddr, IPv4
+from repro.packet.base import PacketError
+
+
+@element_class()
+class Strip(Element):
+    """``Strip(N)`` — remove the first N bytes of the frame."""
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.nbytes = 0
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        if len(args) != 1:
+            raise ConfigError("%s: Strip requires exactly one argument"
+                              % self.name)
+        self.nbytes = int(args[0])
+        if self.nbytes < 0:
+            raise ConfigError("%s: cannot strip negative bytes" % self.name)
+
+    def _process(self, packet: ClickPacket) -> ClickPacket:
+        packet.data = packet.data[self.nbytes:]
+        return packet
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        self.output_push(0, self._process(packet))
+
+    def pull(self, port: int) -> Optional[ClickPacket]:
+        packet = self.input_pull(0)
+        return self._process(packet) if packet is not None else None
+
+
+@element_class()
+class EtherEncap(Element):
+    """``EtherEncap(ethertype, src, dst)`` — prepend an Ethernet header."""
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.ethertype = Ethernet.IP_TYPE
+        self.src = EthAddr("00:00:00:00:00:00")
+        self.dst = EthAddr("00:00:00:00:00:00")
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        if len(args) != 3:
+            raise ConfigError("%s: EtherEncap needs (ethertype, src, dst)"
+                              % self.name)
+        self.ethertype = int(args[0], 0)
+        self.src = EthAddr(args[1])
+        self.dst = EthAddr(args[2])
+
+    def _process(self, packet: ClickPacket) -> ClickPacket:
+        header = (self.dst.raw + self.src.raw
+                  + self.ethertype.to_bytes(2, "big"))
+        packet.data = header + packet.data
+        return packet
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        self.output_push(0, self._process(packet))
+
+    def pull(self, port: int) -> Optional[ClickPacket]:
+        packet = self.input_pull(0)
+        return self._process(packet) if packet is not None else None
+
+
+@element_class()
+class EtherMirror(Element):
+    """Swap the Ethernet source and destination addresses."""
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        pass
+
+    def _process(self, packet: ClickPacket) -> ClickPacket:
+        data = packet.data
+        if len(data) >= 12:
+            packet.data = data[6:12] + data[0:6] + data[12:]
+        return packet
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        self.output_push(0, self._process(packet))
+
+    def pull(self, port: int) -> Optional[ClickPacket]:
+        packet = self.input_pull(0)
+        return self._process(packet) if packet is not None else None
+
+
+@element_class()
+class CheckIPHeader(Element):
+    """Verify the embedded IPv4 header; bad packets go to output 1 when
+    connected, otherwise they are dropped.
+
+    Handlers: ``drops`` (read).
+    """
+
+    INPUT_COUNT = 1
+    OUTPUT_COUNT = None
+    INPUT_PERSONALITY = PUSH
+    OUTPUT_PERSONALITY = PUSH
+    ALLOW_UNCONNECTED = True
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.drops = 0
+        self.add_read_handler("drops", lambda: self.drops)
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        pass
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        if packet.ip() is not None:
+            self.output_push(0, packet)
+            return
+        self.drops += 1
+        if self.noutputs > 1:
+            self.output_push(1, packet)
+
+
+@element_class()
+class DecIPTTL(Element):
+    """Decrement the IPv4 TTL; expired packets go to output 1 when
+    connected, otherwise they are dropped.
+
+    Handlers: ``expired`` (read).
+    """
+
+    INPUT_COUNT = 1
+    OUTPUT_COUNT = None
+    INPUT_PERSONALITY = PUSH
+    OUTPUT_PERSONALITY = PUSH
+    ALLOW_UNCONNECTED = True
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.expired = 0
+        self.add_read_handler("expired", lambda: self.expired)
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        pass
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        eth = packet.eth()
+        ip = eth.find(IPv4) if eth is not None else None
+        if ip is None:
+            self.output_push(0, packet)
+            return
+        if ip.ttl <= 1:
+            self.expired += 1
+            if self.noutputs > 1:
+                self.output_push(1, packet)
+            return
+        ip.ttl -= 1
+        packet.replace_header(eth)
+        self.output_push(0, packet)
+
+
+@element_class()
+class Paint(Element):
+    """``Paint(color)`` — set the paint annotation."""
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.color = 0
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        if len(args) != 1:
+            raise ConfigError("%s: Paint requires one color" % self.name)
+        self.color = int(args[0])
+        if not 0 <= self.color <= 255:
+            raise ConfigError("%s: color out of range" % self.name)
+
+    def _process(self, packet: ClickPacket) -> ClickPacket:
+        packet.paint = self.color
+        return packet
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        self.output_push(0, self._process(packet))
+
+    def pull(self, port: int) -> Optional[ClickPacket]:
+        packet = self.input_pull(0)
+        return self._process(packet) if packet is not None else None
+
+
+@element_class()
+class Print(Element):
+    """``Print([LABEL, MAXLENGTH N])`` — record (and optionally echo) a
+    one-line summary of each packet.  The log is exposed through the
+    ``log`` read handler, so tests can assert on what flowed past.
+    """
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.label = name
+        self.maxlength = 24
+        self.quiet = True
+        self.log: List[str] = []
+        self.add_read_handler("log", lambda: "\n".join(self.log))
+        self.add_write_handler("clear", lambda _value: self.log.clear())
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        positionals, kw = self.parse_keywords(args, ["MAXLENGTH", "QUIET"])
+        if positionals:
+            self.label = positionals[0]
+            positionals = positionals[1:]
+        if positionals:
+            raise ConfigError("%s: too many arguments" % self.name)
+        if "MAXLENGTH" in kw:
+            self.maxlength = int(kw["MAXLENGTH"])
+        if "QUIET" in kw:
+            self.quiet = self.parse_bool(kw["QUIET"])
+
+    def _process(self, packet: ClickPacket) -> ClickPacket:
+        summary = packet.data[: self.maxlength].hex()
+        line = "%s: %4d | %s" % (self.label, len(packet), summary)
+        self.log.append(line)
+        if not self.quiet:
+            print(line)
+        return packet
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        self.output_push(0, self._process(packet))
+
+    def pull(self, port: int) -> Optional[ClickPacket]:
+        packet = self.input_pull(0)
+        return self._process(packet) if packet is not None else None
+
+
+@element_class()
+class ICMPPingResponder(Element):
+    """Turn ICMP echo requests around (swap MACs and IPs, emit replies).
+
+    Non-echo packets are forwarded to output 1 when connected, otherwise
+    dropped.  Handlers: ``replies`` (read).
+    """
+
+    INPUT_COUNT = 1
+    OUTPUT_COUNT = None
+    INPUT_PERSONALITY = PUSH
+    OUTPUT_PERSONALITY = PUSH
+    ALLOW_UNCONNECTED = True
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.replies = 0
+        self.add_read_handler("replies", lambda: self.replies)
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        pass
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        eth = packet.eth()
+        ip = eth.find(IPv4) if eth is not None else None
+        icmp = ip.find(ICMP) if ip is not None else None
+        if icmp is None or not icmp.is_echo_request:
+            if self.noutputs > 1:
+                self.output_push(1, packet)
+            return
+        reply = Ethernet(
+            src=eth.dst, dst=eth.src, type=Ethernet.IP_TYPE,
+            payload=IPv4(srcip=ip.dstip, dstip=ip.srcip,
+                         protocol=IPv4.ICMP_PROTOCOL, ttl=64,
+                         payload=icmp.make_reply()))
+        self.replies += 1
+        self.output_push(0, ClickPacket.from_header(
+            reply, timestamp=packet.timestamp, anno=dict(packet.anno)))
+
+
+@element_class()
+class ARPResponder(Element):
+    """``ARPResponder(ip mac, ...)`` — answer ARP who-has for the
+    configured bindings.  Non-matching packets go to output 1 when
+    connected, otherwise dropped."""
+
+    INPUT_COUNT = 1
+    OUTPUT_COUNT = None
+    INPUT_PERSONALITY = PUSH
+    OUTPUT_PERSONALITY = PUSH
+    ALLOW_UNCONNECTED = True
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.table: Dict[IPAddr, EthAddr] = {}
+        self.replies = 0
+        self.add_read_handler("replies", lambda: self.replies)
+        self.add_read_handler("table", self._dump_table)
+
+    def _dump_table(self) -> str:
+        return "\n".join("%s %s" % (ip, mac)
+                         for ip, mac in sorted(self.table.items()))
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        if not args:
+            raise ConfigError("%s: needs at least one 'ip mac' binding"
+                              % self.name)
+        for binding in args:
+            parts = binding.split()
+            if len(parts) != 2:
+                raise ConfigError("%s: bad binding %r" % (self.name, binding))
+            try:
+                self.table[IPAddr(parts[0])] = EthAddr(parts[1])
+            except (ValueError, PacketError) as exc:
+                raise ConfigError("%s: %s" % (self.name, exc))
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        eth = packet.eth()
+        arp = eth.find(ARP) if eth is not None else None
+        if (arp is None or arp.opcode != ARP.REQUEST
+                or arp.protodst not in self.table):
+            if self.noutputs > 1:
+                self.output_push(1, packet)
+            return
+        mac = self.table[arp.protodst]
+        reply = Ethernet(
+            src=mac, dst=eth.src, type=Ethernet.ARP_TYPE,
+            payload=ARP(opcode=ARP.REPLY, hwsrc=mac, protosrc=arp.protodst,
+                        hwdst=arp.hwsrc, protodst=arp.protosrc))
+        self.replies += 1
+        self.output_push(0, ClickPacket.from_header(
+            reply, timestamp=packet.timestamp))

@@ -1,0 +1,120 @@
+"""Source-NAT element (a small stateful IPRewriter)."""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.click.element import PUSH, Element
+from repro.click.errors import ConfigError
+from repro.click.packet import ClickPacket
+from repro.click.registry import element_class
+from repro.packet import IPAddr, IPv4, TCP, UDP
+
+
+@element_class()
+class IPRewriter(Element):
+    """``IPRewriter(NATIP)`` — stateful source NAT.
+
+    * input/output 0 — *outbound*: rewrite the source address to NATIP
+      and the source port to an allocated external port; remember the
+      mapping.
+    * input/output 1 — *inbound*: look up the destination port in the
+      mapping table and rewrite destination address/port back to the
+      internal endpoint.  Unknown inbound flows are dropped.
+
+    Non-TCP/UDP packets pass through the outbound path with only the
+    source address rewritten, and are dropped inbound (no mapping).
+
+    Handlers: ``mappings`` (read, count), ``table`` (read, dump),
+    ``flush`` (write).
+    """
+
+    INPUT_COUNT = 2
+    OUTPUT_COUNT = 2
+    INPUT_PERSONALITY = PUSH
+    OUTPUT_PERSONALITY = PUSH
+
+    FIRST_PORT = 10000
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.nat_ip = IPAddr("0.0.0.0")
+        # (proto, internal ip, internal port) -> external port
+        self.out_map: Dict[Tuple[int, IPAddr, int], int] = {}
+        # (proto, external port) -> (internal ip, internal port)
+        self.in_map: Dict[Tuple[int, int], Tuple[IPAddr, int]] = {}
+        self._next_port = self.FIRST_PORT
+        self.inbound_drops = 0
+        self.add_read_handler("mappings", lambda: len(self.out_map))
+        self.add_read_handler("table", self._dump_table)
+        self.add_read_handler("inbound_drops", lambda: self.inbound_drops)
+        self.add_write_handler("flush", lambda _value: self._flush())
+
+    def _flush(self) -> None:
+        self.out_map.clear()
+        self.in_map.clear()
+        self._next_port = self.FIRST_PORT
+
+    def _dump_table(self) -> str:
+        lines = []
+        for (proto, ip, port), ext_port in sorted(
+                self.out_map.items(), key=lambda item: item[1]):
+            lines.append("proto=%d %s:%d <-> %s:%d"
+                         % (proto, ip, port, self.nat_ip, ext_port))
+        return "\n".join(lines)
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        if len(args) != 1:
+            raise ConfigError("%s: IPRewriter needs the NAT address"
+                              % self.name)
+        try:
+            self.nat_ip = IPAddr(args[0])
+        except ValueError as exc:
+            raise ConfigError("%s: %s" % (self.name, exc))
+
+    def _allocate(self, proto: int, ip: IPAddr, port: int) -> int:
+        key = (proto, ip, port)
+        ext_port = self.out_map.get(key)
+        if ext_port is None:
+            ext_port = self._next_port
+            self._next_port += 1
+            self.out_map[key] = ext_port
+            self.in_map[(proto, ext_port)] = (ip, port)
+        return ext_port
+
+    @staticmethod
+    def _l4(ip: IPv4):
+        l4 = ip.find(TCP)
+        if l4 is None:
+            l4 = ip.find(UDP)
+        return l4
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        eth = packet.eth()
+        ip = eth.find(IPv4) if eth is not None else None
+        if ip is None:
+            if port == 0:
+                self.output_push(0, packet)
+            return
+        l4 = self._l4(ip)
+        if port == 0:
+            ip.srcip = self.nat_ip if l4 is None else ip.srcip
+            if l4 is not None:
+                ext_port = self._allocate(ip.protocol, ip.srcip, l4.srcport)
+                ip.srcip = self.nat_ip
+                l4.srcport = ext_port
+            else:
+                ip.srcip = self.nat_ip
+            packet.replace_header(eth)
+            self.output_push(0, packet)
+        else:
+            if l4 is None:
+                self.inbound_drops += 1
+                return
+            mapping = self.in_map.get((ip.protocol, l4.dstport))
+            if mapping is None:
+                self.inbound_drops += 1
+                return
+            internal_ip, internal_port = mapping
+            ip.dstip = internal_ip
+            l4.dstport = internal_port
+            packet.replace_header(eth)
+            self.output_push(1, packet)

@@ -1,0 +1,167 @@
+"""Queues and the pull→push converters that drain them."""
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.click.element import PULL, PUSH, Element
+from repro.click.errors import ConfigError
+from repro.click.packet import ClickPacket
+from repro.click.registry import element_class
+
+
+@element_class()
+class Queue(Element):
+    """``Queue([CAPACITY])`` — the push→pull boundary.  Tail-drop.
+
+    Handlers: ``length``, ``capacity``, ``drops``, ``highwater`` (read);
+    ``reset`` (write).
+    """
+
+    INPUT_COUNT = 1
+    OUTPUT_COUNT = 1
+    INPUT_PERSONALITY = PUSH
+    OUTPUT_PERSONALITY = PULL
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.capacity = 1000
+        self.buffer: deque = deque()
+        self.drops = 0
+        self.highwater = 0
+        self.add_read_handler("length", lambda: len(self.buffer))
+        self.add_read_handler("capacity", lambda: self.capacity)
+        self.add_read_handler("drops", lambda: self.drops)
+        self.add_read_handler("highwater", lambda: self.highwater)
+        self.add_write_handler("reset", lambda _value: self._reset())
+        self.add_write_handler("capacity", self._write_capacity)
+
+    def _reset(self) -> None:
+        self.buffer.clear()
+        self.drops = 0
+        self.highwater = 0
+
+    def _write_capacity(self, value: str) -> None:
+        capacity = int(value)
+        if capacity <= 0:
+            raise ConfigError("%s: capacity must be positive" % self.name)
+        self.capacity = capacity
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        if len(args) > 1:
+            raise ConfigError("%s: at most one argument (capacity)"
+                              % self.name)
+        if args:
+            self._write_capacity(args[0])
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        if len(self.buffer) >= self.capacity:
+            self.drop(packet)
+            return
+        self.buffer.append(packet)
+        self.highwater = max(self.highwater, len(self.buffer))
+
+    def drop(self, packet: ClickPacket) -> None:
+        self.drops += 1
+
+    def pull(self, port: int) -> Optional[ClickPacket]:
+        return self.buffer.popleft() if self.buffer else None
+
+
+@element_class()
+class FrontDropQueue(Queue):
+    """Queue that evicts the *oldest* packet when full (head-drop)."""
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        if len(self.buffer) >= self.capacity:
+            self.buffer.popleft()
+            self.drops += 1
+        self.buffer.append(packet)
+        self.highwater = max(self.highwater, len(self.buffer))
+
+
+class _PullDriver(Element):
+    """Shared machinery: pull upstream on a timer, push downstream."""
+
+    INPUT_COUNT = 1
+    OUTPUT_COUNT = 1
+    INPUT_PERSONALITY = PULL
+    OUTPUT_PERSONALITY = PUSH
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.interval = 1e-5
+        self.burst = 1
+        self.moved = 0
+        self._task = None
+        self.add_read_handler("count", lambda: self.moved)
+
+    def initialize(self) -> None:
+        self._arm()
+
+    def cleanup(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def _arm(self) -> None:
+        self._task = self.router.sim.schedule(self.interval, self._fire)
+
+    def _fire(self) -> None:
+        if not self.router.running:
+            return
+        for _ in range(self.burst):
+            packet = self.input_pull(0)
+            if packet is None:
+                break
+            self.moved += 1
+            self.output_push(0, packet)
+        self._arm()
+
+
+@element_class()
+class Unqueue(_PullDriver):
+    """``Unqueue([BURST])`` — drain the upstream queue as fast as the
+    scheduler allows, BURST packets per tick."""
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        positionals, kw = self.parse_keywords(args, ["BURST"])
+        if positionals:
+            self.burst = int(positionals[0])
+            positionals = positionals[1:]
+        if positionals:
+            raise ConfigError("%s: too many arguments" % self.name)
+        if "BURST" in kw:
+            self.burst = int(kw["BURST"])
+        if self.burst <= 0:
+            raise ConfigError("%s: burst must be positive" % self.name)
+
+
+@element_class()
+class RatedUnqueue(_PullDriver):
+    """``RatedUnqueue(RATE)`` — drain at RATE packets/second.
+
+    Handlers: ``rate`` (read/write), ``count`` (read).
+    """
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.rate = 100.0
+        self.add_read_handler("rate", lambda: self.rate)
+        self.add_write_handler("rate", self._write_rate)
+
+    def _write_rate(self, value: str) -> None:
+        rate = float(value)
+        if rate <= 0:
+            raise ConfigError("%s: rate must be positive" % self.name)
+        self.rate = rate
+        self.interval = 1.0 / rate
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        positionals, kw = self.parse_keywords(args, ["RATE"])
+        if positionals:
+            self._write_rate(positionals[0])
+            positionals = positionals[1:]
+        if positionals:
+            raise ConfigError("%s: too many arguments" % self.name)
+        if "RATE" in kw:
+            self._write_rate(kw["RATE"])

@@ -1,0 +1,79 @@
+"""Sink elements."""
+
+from typing import Dict, List, Optional
+
+from repro.click.element import AGNOSTIC, PULL, Element
+from repro.click.packet import ClickPacket
+from repro.click.registry import element_class
+
+
+@element_class()
+class Discard(Element):
+    """Swallow every packet.  Works in push mode directly; in pull mode it
+    runs a task that drains its upstream (like real Click's Discard).
+
+    Handlers: ``count`` (read), ``reset`` (write).
+    """
+
+    INPUT_COUNT = 1
+    OUTPUT_COUNT = 0
+    INPUT_PERSONALITY = AGNOSTIC
+
+    PULL_INTERVAL = 1e-4  # seconds between drain attempts in pull mode
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.count = 0
+        self._task = None
+        self.add_read_handler("count", lambda: self.count)
+        self.add_write_handler("reset", lambda _value: self._reset())
+
+    def _reset(self) -> None:
+        self.count = 0
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        pass  # Discard takes no arguments but tolerates an empty config
+
+    def initialize(self) -> None:
+        if self.inputs[0].resolved == PULL:
+            self._task = self.router.sim.schedule(self.PULL_INTERVAL,
+                                                  self._drain)
+
+    def cleanup(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def _drain(self) -> None:
+        if not self.router.running:
+            return
+        while True:
+            packet = self.input_pull(0)
+            if packet is None:
+                break
+            self.count += 1
+        self._task = self.router.sim.schedule(self.PULL_INTERVAL, self._drain)
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        self.count += 1
+
+
+@element_class()
+class Idle(Element):
+    """Never produces, silently consumes; any number of ports, all of
+    which may stay unconnected.  Used to cap unused ports."""
+
+    INPUT_COUNT = None
+    OUTPUT_COUNT = None
+    INPUT_PERSONALITY = AGNOSTIC
+    OUTPUT_PERSONALITY = AGNOSTIC
+    ALLOW_UNCONNECTED = True
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        pass
+
+    def push(self, port: int, packet: ClickPacket) -> None:
+        pass
+
+    def pull(self, port: int) -> Optional[ClickPacket]:
+        return None

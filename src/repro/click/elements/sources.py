@@ -1,0 +1,162 @@
+"""Traffic source elements (push personality, driven by simulator tasks)."""
+
+from typing import Dict, List
+
+from repro.click.element import PUSH, Element
+from repro.click.errors import ConfigError
+from repro.click.packet import ClickPacket
+from repro.click.registry import element_class
+
+
+class _ScheduledSource(Element):
+    """Shared machinery: emit packets on a simulated-time schedule."""
+
+    INPUT_COUNT = 0
+    OUTPUT_COUNT = 1
+    OUTPUT_PERSONALITY = PUSH
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.data = b"Random bulk data from source\x00\x00\x00\x00"
+        self.limit = -1          # -1 means unlimited
+        self.interval = 0.001    # seconds between emissions
+        self.active = True
+        self.emitted = 0
+        self._task = None
+        self.add_read_handler("count", lambda: self.emitted)
+        self.add_read_handler("active", lambda: self.active)
+        self.add_write_handler("active", self._write_active)
+        self.add_write_handler("reset", lambda _value: self._reset())
+
+    def _write_active(self, value: str) -> None:
+        was = self.active
+        self.active = self.parse_bool(value)
+        if self.active and not was and self.router.running:
+            self._arm()
+
+    def _reset(self) -> None:
+        self.emitted = 0
+
+    def initialize(self) -> None:
+        if self.active:
+            self._arm()
+
+    def cleanup(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def _arm(self) -> None:
+        self._task = self.router.sim.schedule(self.interval, self._fire)
+
+    def _fire(self) -> None:
+        if not self.active or not self.router.running:
+            return
+        if self.limit >= 0 and self.emitted >= self.limit:
+            self.active = False
+            return
+        packet = self.make_packet()
+        self.emitted += 1
+        self.output_push(0, packet)
+        self._arm()
+
+    def make_packet(self) -> ClickPacket:
+        return ClickPacket(self.data, timestamp=self.router.sim.now)
+
+
+@element_class()
+class InfiniteSource(_ScheduledSource):
+    """``InfiniteSource([DATA, LIMIT, BURST])`` — emit as fast as the
+    scheduler allows (one microsecond apart, deterministic).
+
+    Handlers: ``count`` (read), ``active``/``reset`` (write).
+    """
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        positionals, kw = self.parse_keywords(
+            args, ["DATA", "LIMIT", "BURST", "ACTIVE"])
+        if positionals:
+            # Click allows DATA as the first positional.
+            self.data = positionals[0].encode()
+            positionals = positionals[1:]
+        if positionals:
+            raise ConfigError("%s: too many positional args" % self.name)
+        if "DATA" in kw:
+            self.data = kw["DATA"].encode()
+        if "LIMIT" in kw:
+            self.limit = int(kw["LIMIT"])
+        if "ACTIVE" in kw:
+            self.active = self.parse_bool(kw["ACTIVE"])
+        self.interval = 1e-6
+
+
+@element_class()
+class RatedSource(_ScheduledSource):
+    """``RatedSource([DATA, RATE, LIMIT])`` — emit RATE packets/second.
+
+    Handlers: ``rate`` (read/write), ``count`` (read).
+    """
+
+    def __init__(self, name: str, config: str = ""):
+        super().__init__(name, config)
+        self.rate = 10.0
+        self.add_read_handler("rate", lambda: self.rate)
+        self.add_write_handler("rate", self._write_rate)
+
+    def _write_rate(self, value: str) -> None:
+        rate = float(value)
+        if rate <= 0:
+            raise ConfigError("%s: rate must be positive" % self.name)
+        self.rate = rate
+        self.interval = 1.0 / rate
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        positionals, kw = self.parse_keywords(
+            args, ["DATA", "RATE", "LIMIT", "ACTIVE"])
+        if positionals:
+            self.data = positionals[0].encode()
+            positionals = positionals[1:]
+        if positionals:
+            self.rate = float(positionals[0])
+            positionals = positionals[1:]
+        if positionals:
+            self.limit = int(positionals[0])
+            positionals = positionals[1:]
+        if positionals:
+            raise ConfigError("%s: too many positional args" % self.name)
+        if "DATA" in kw:
+            self.data = kw["DATA"].encode()
+        if "RATE" in kw:
+            self.rate = float(kw["RATE"])
+        if "LIMIT" in kw:
+            self.limit = int(kw["LIMIT"])
+        if "ACTIVE" in kw:
+            self.active = self.parse_bool(kw["ACTIVE"])
+        if self.rate <= 0:
+            raise ConfigError("%s: rate must be positive" % self.name)
+        self.interval = 1.0 / self.rate
+
+
+@element_class()
+class TimedSource(_ScheduledSource):
+    """``TimedSource([INTERVAL, DATA])`` — one packet every INTERVAL s."""
+
+    def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
+        positionals, kw = self.parse_keywords(
+            args, ["INTERVAL", "DATA", "LIMIT"])
+        if positionals:
+            self.interval = float(positionals[0])
+            positionals = positionals[1:]
+        if positionals:
+            self.data = positionals[0].encode()
+            positionals = positionals[1:]
+        if positionals:
+            raise ConfigError("%s: too many positional args" % self.name)
+        if "INTERVAL" in kw:
+            self.interval = float(kw["INTERVAL"])
+        if "DATA" in kw:
+            self.data = kw["DATA"].encode()
+        if "LIMIT" in kw:
+            self.limit = int(kw["LIMIT"])
+        if self.interval <= 0:
+            raise ConfigError("%s: interval must be positive" % self.name)

@@ -1,0 +1,9 @@
+"""Click subsystem exceptions."""
+
+
+class ClickError(Exception):
+    """Base class for Click-layer failures."""
+
+
+class ConfigError(ClickError):
+    """A router configuration could not be parsed or validated."""

@@ -1,0 +1,97 @@
+"""The packet object flowing between Click elements.
+
+Click elements operate on raw frame bytes (so ``Strip``/``EtherEncap``
+keep their usual semantics) but frequently need parsed header views and
+per-packet annotations (paint, timestamps).  :class:`ClickPacket` wraps
+the bytes with a lazily-parsed header cache and an annotation dict.
+"""
+
+from typing import Any, Dict, Optional
+
+from repro.packet import Ethernet, IPv4, TCP, UDP
+from repro.packet.base import Header, PacketError
+
+
+class ClickPacket:
+    """Raw bytes + annotations, with cached parsed views.
+
+    Mutating :attr:`data` invalidates the cache automatically because the
+    cache is keyed on the bytes object identity.
+    """
+
+    __slots__ = ("_data", "anno", "timestamp", "_parsed", "_parsed_for")
+
+    def __init__(self, data: bytes = b"",
+                 anno: Optional[Dict[str, Any]] = None,
+                 timestamp: float = 0.0):
+        self._data = bytes(data)
+        self.anno: Dict[str, Any] = dict(anno or {})
+        self.timestamp = timestamp
+        self._parsed: Optional[Header] = None
+        self._parsed_for: Optional[bytes] = None
+
+    @classmethod
+    def from_header(cls, header: Header, timestamp: float = 0.0,
+                    anno: Optional[Dict[str, Any]] = None) -> "ClickPacket":
+        return cls(header.pack(), anno=anno, timestamp=timestamp)
+
+    @property
+    def data(self) -> bytes:
+        return self._data
+
+    @data.setter
+    def data(self, value: bytes) -> None:
+        self._data = bytes(value)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- parsed views ------------------------------------------------------
+
+    def parsed(self) -> Optional[Header]:
+        """The frame parsed as Ethernet, or None when unparseable."""
+        if self._parsed_for is not self._data:
+            try:
+                self._parsed = Ethernet.unpack(self._data)
+            except PacketError:
+                self._parsed = None
+            self._parsed_for = self._data
+        return self._parsed
+
+    def eth(self) -> Optional[Ethernet]:
+        parsed = self.parsed()
+        return parsed if isinstance(parsed, Ethernet) else None
+
+    def ip(self) -> Optional[IPv4]:
+        parsed = self.parsed()
+        return parsed.find(IPv4) if parsed is not None else None
+
+    def udp(self) -> Optional[UDP]:
+        parsed = self.parsed()
+        return parsed.find(UDP) if parsed is not None else None
+
+    def tcp(self) -> Optional[TCP]:
+        parsed = self.parsed()
+        return parsed.find(TCP) if parsed is not None else None
+
+    def replace_header(self, header: Header) -> None:
+        """Re-serialize ``header`` into this packet's bytes."""
+        self._data = header.pack()
+
+    # -- annotations --------------------------------------------------------
+
+    @property
+    def paint(self) -> int:
+        return self.anno.get("paint", 0)
+
+    @paint.setter
+    def paint(self, color: int) -> None:
+        self.anno["paint"] = color
+
+    def clone(self) -> "ClickPacket":
+        """Copy for Tee-style fan-out; annotations are shallow-copied."""
+        return ClickPacket(self._data, anno=dict(self.anno),
+                           timestamp=self.timestamp)
+
+    def __repr__(self) -> str:
+        return "ClickPacket(%d bytes, anno=%r)" % (len(self._data), self.anno)

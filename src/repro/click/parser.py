@@ -1,0 +1,508 @@
+"""Parser for the Click configuration language (the subset ESCAPE needs).
+
+Supported grammar::
+
+    config      := statement (';' statement)* [';']
+    statement   := declaration | connection | <empty>
+    declaration := name (',' name)* '::' class ['(' args ')']
+    connection  := endpoint ('->' endpoint)+
+    endpoint    := ['[' int ']'] element ['[' int ']']
+    element     := name                      -- previously declared
+                 | class ['(' args ')']      -- anonymous inline element
+
+plus ``//`` line comments and ``/* */`` block comments.  Anonymous
+elements get Click-style generated names (``Counter@1``).  Argument
+strings keep their raw text; splitting on top-level commas is done here,
+per-argument interpretation is each element's job.
+
+This mirrors enough of the real language that the catalog VNF configs in
+:mod:`repro.core.catalog` are valid Click programs.
+"""
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.click.errors import ConfigError
+
+
+class ElementSpec:
+    """A declared element: Click class name + raw config arguments."""
+
+    def __init__(self, name: str, class_name: str, config: str = ""):
+        self.name = name
+        self.class_name = class_name
+        self.config = config
+
+    def config_args(self) -> List[str]:
+        return split_args(self.config)
+
+    def __repr__(self) -> str:
+        return "ElementSpec(%s :: %s(%s))" % (self.name, self.class_name,
+                                              self.config)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ElementSpec)
+                and (self.name, self.class_name, self.config)
+                == (other.name, other.class_name, other.config))
+
+
+class ConnectionSpec:
+    """A directed hookup: ``from[from_port] -> [to_port]to``."""
+
+    def __init__(self, from_element: str, from_port: int,
+                 to_element: str, to_port: int):
+        self.from_element = from_element
+        self.from_port = from_port
+        self.to_element = to_element
+        self.to_port = to_port
+
+    def __repr__(self) -> str:
+        return "ConnectionSpec(%s[%d] -> [%d]%s)" % (
+            self.from_element, self.from_port, self.to_port, self.to_element)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ConnectionSpec)
+                and (self.from_element, self.from_port,
+                     self.to_element, self.to_port)
+                == (other.from_element, other.from_port,
+                    other.to_element, other.to_port))
+
+
+class RouterConfig:
+    """Parsed configuration: ordered element specs + connections."""
+
+    def __init__(self):
+        self.elements: Dict[str, ElementSpec] = {}
+        self.connections: List[ConnectionSpec] = []
+        self.elementclasses: Dict[str, str] = {}  # name -> body text
+
+    def __repr__(self) -> str:
+        return "RouterConfig(%d elements, %d connections)" % (
+            len(self.elements), len(self.connections))
+
+
+def strip_comments(text: str) -> str:
+    """Remove ``//`` and ``/* */`` comments (strings are not special —
+    the Click arg syntax has no quoted semicolons in our subset)."""
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    text = re.sub(r"//[^\n]*", " ", text)
+    return text
+
+
+def split_args(config: str) -> List[str]:
+    """Split an argument string on top-level commas.
+
+    Respects nesting in ``()``, ``[]`` and double quotes; trims
+    whitespace; drops empty arguments.
+    """
+    args: List[str] = []
+    depth = 0
+    in_string = False
+    current: List[str] = []
+    for char in config:
+        if in_string:
+            current.append(char)
+            if char == '"':
+                in_string = False
+            continue
+        if char == '"':
+            in_string = True
+            current.append(char)
+        elif char in "([":
+            depth += 1
+            current.append(char)
+        elif char in ")]":
+            depth -= 1
+            if depth < 0:
+                raise ConfigError("unbalanced brackets in %r" % config)
+            current.append(char)
+        elif char == "," and depth == 0:
+            args.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    if depth != 0 or in_string:
+        raise ConfigError("unbalanced brackets or quote in %r" % config)
+    last = "".join(current).strip()
+    if last:
+        args.append(last)
+    return [arg for arg in args if arg]
+
+
+# -- tokenizer ----------------------------------------------------------
+
+_TOKEN_RE = re.compile(r"""
+    (?P<arrow>->)
+  | (?P<coloncolon>::)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_/@]*)
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<lparen>\()
+  | (?P<lbrace>\{)
+  | (?P<comma>,)
+  | (?P<semi>;)
+  | (?P<int>\d+)
+  | (?P<ws>\s+)
+""", re.VERBOSE)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ConfigError("unexpected character %r at offset %d"
+                              % (text[pos], pos))
+        kind = match.lastgroup
+        if kind == "lparen":
+            # capture the balanced argument text raw
+            depth = 1
+            end = match.end()
+            while end < len(text) and depth:
+                if text[end] == "(":
+                    depth += 1
+                elif text[end] == ")":
+                    depth -= 1
+                end += 1
+            if depth:
+                raise ConfigError("unbalanced '(' at offset %d" % pos)
+            tokens.append(("args", text[match.end():end - 1]))
+            pos = end
+            continue
+        if kind == "lbrace":
+            # capture a balanced elementclass body raw
+            depth = 1
+            end = match.end()
+            while end < len(text) and depth:
+                if text[end] == "{":
+                    depth += 1
+                elif text[end] == "}":
+                    depth -= 1
+                end += 1
+            if depth:
+                raise ConfigError("unbalanced '{' at offset %d" % pos)
+            tokens.append(("body", text[match.end():end - 1]))
+            pos = end
+            continue
+        if kind != "ws":
+            tokens.append((kind, match.group()))
+        pos = match.end()
+    return tokens
+
+
+COMPOUND_INPUT = "__CompoundInput__"
+COMPOUND_OUTPUT = "__CompoundOutput__"
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]],
+                 compound: bool = False,
+                 elementclasses: Optional[Dict[str, str]] = None):
+        self.tokens = tokens
+        self.pos = 0
+        self.config = RouterConfig()
+        self.config.elementclasses.update(elementclasses or {})
+        self._anon = 0
+        if compound:
+            # the pseudo ports of an elementclass body
+            self.config.elements["input"] = ElementSpec(
+                "input", COMPOUND_INPUT)
+            self.config.elements["output"] = ElementSpec(
+                "output", COMPOUND_OUTPUT)
+
+    # token helpers
+    def peek(self, offset: int = 0) -> Optional[Tuple[str, str]]:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ConfigError("unexpected end of configuration")
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> str:
+        token = self.next()
+        if token[0] != kind:
+            raise ConfigError("expected %s, got %r" % (kind, token[1]))
+        return token[1]
+
+    def accept(self, kind: str) -> Optional[str]:
+        token = self.peek()
+        if token is not None and token[0] == kind:
+            self.pos += 1
+            return token[1]
+        return None
+
+    # grammar
+    def parse(self) -> RouterConfig:
+        while self.peek() is not None:
+            if self.accept("semi"):
+                continue
+            self.statement()
+        return self.config
+
+    def statement(self) -> None:
+        token = self.peek()
+        if token is not None and token == ("ident", "elementclass"):
+            self.elementclass_definition()
+            return
+        # A comma before '::' (and before any '->') means a multi-name
+        # declaration like ``a, b :: Counter;``.  Everything else is a
+        # connection chain, whose endpoints may embed inline
+        # declarations (``src :: Source(...) -> Counter -> sink``).
+        offset = 0
+        comma_declaration = False
+        while True:
+            token = self.peek(offset)
+            if token is None or token[0] in ("semi", "arrow"):
+                break
+            if token[0] == "comma":
+                comma_declaration = True
+                break
+            offset += 1
+        if comma_declaration:
+            self.declaration()
+        else:
+            self.connection()
+
+    def elementclass_definition(self) -> None:
+        self.expect("ident")  # the 'elementclass' keyword itself
+        name = self.expect("ident")
+        if name in self.config.elementclasses:
+            raise ConfigError("elementclass %r defined twice" % name)
+        kind, body = self.next()
+        if kind != "body":
+            raise ConfigError("elementclass %s: expected '{', got %r"
+                              % (name, body))
+        self.config.elementclasses[name] = body
+
+    def declaration(self) -> None:
+        names = [self.expect("ident")]
+        while self.accept("comma"):
+            names.append(self.expect("ident"))
+        self.expect("coloncolon")
+        class_name = self.expect("ident")
+        config = self.accept("args") or ""
+        for name in names:
+            self._declare(name, class_name, config)
+
+    def _declare(self, name: str, class_name: str, config: str) -> None:
+        if name in self.config.elements:
+            raise ConfigError("element %r declared twice" % name)
+        self.config.elements[name] = ElementSpec(name, class_name,
+                                                 config.strip())
+
+    def _anonymous(self, class_name: str, config: str) -> str:
+        self._anon += 1
+        name = "%s@%d" % (class_name, self._anon)
+        self._declare(name, class_name, config)
+        return name
+
+    def endpoint(self) -> Tuple[str, int, int, bool]:
+        """Returns (element name, input port, output port, declared)."""
+        declared = False
+        in_port = 0
+        if self.accept("lbracket"):
+            in_port = int(self.expect("int"))
+            self.expect("rbracket")
+        ident = self.expect("ident")
+        if self.accept("coloncolon"):
+            # inline named declaration: name :: Class [args]
+            class_name = self.expect("ident")
+            config = self.accept("args") or ""
+            self._declare(ident, class_name, config.strip())
+            name = ident
+            declared = True
+        else:
+            token = self.peek()
+            if token is not None and token[0] == "args":
+                name = self._anonymous(ident, self.next()[1])
+                declared = True
+            elif ident in self.config.elements:
+                name = ident
+            else:
+                # bare class name used inline: anonymous, empty config.
+                name = self._resolve_bare(ident)
+                declared = True
+        out_port = 0
+        if self.accept("lbracket"):
+            out_port = int(self.expect("int"))
+            self.expect("rbracket")
+        return name, in_port, out_port, declared
+
+    def _resolve_bare(self, ident: str) -> str:
+        from repro.click.registry import _REGISTRY
+        if ident in _REGISTRY or ident in self.config.elementclasses:
+            return self._anonymous(ident, "")
+        raise ConfigError("reference to undeclared element %r" % ident)
+
+    def connection(self) -> None:
+        name, _in, out_port, declared = self.endpoint()
+        prev = (name, out_port)
+        hops = 0
+        while self.accept("arrow"):
+            name, in_port, out_port, _ = self.endpoint()
+            self.config.connections.append(
+                ConnectionSpec(prev[0], prev[1], name, in_port))
+            prev = (name, out_port)
+            hops += 1
+        if hops == 0 and not declared:
+            raise ConfigError("statement is neither a declaration nor a "
+                              "connection (element %r alone)" % name)
+
+
+def parse_config(text: str) -> RouterConfig:
+    """Parse Click configuration ``text`` into a :class:`RouterConfig`.
+
+    ``elementclass`` compound definitions are expanded in place: every
+    instance is inlined with ``instance/inner`` element names, and its
+    ``input[i]`` / ``output[j]`` pseudo ports are spliced to the outer
+    connections, exactly like Click's macro expansion.
+    """
+    config = _Parser(_tokenize(strip_comments(text))).parse()
+    _expand_compounds(config, {}, 0)
+    return config
+
+
+def _expand_compounds(config: RouterConfig, inherited: Dict[str, str],
+                      depth: int) -> None:
+    env = dict(inherited)
+    env.update(config.elementclasses)
+    if depth > 16:
+        raise ConfigError("elementclass nesting too deep (recursive?)")
+    while True:
+        spec = next((candidate for candidate in config.elements.values()
+                     if candidate.class_name in env), None)
+        if spec is None:
+            return
+        _inline_compound(config, spec, env, depth)
+
+
+def _split_compound_params(body: str) -> Tuple[List[str], str]:
+    """Split an optional ``$a, $b |`` parameter prologue off a body."""
+    bar = body.find("|")
+    if bar < 0:
+        return [], body
+    head = body[:bar].strip()
+    if not head or not head.startswith("$"):
+        return [], body
+    params = []
+    for token in head.split(","):
+        token = token.strip()
+        if not token.startswith("$") or len(token) < 2:
+            return [], body  # not a parameter prologue after all
+        params.append(token)
+    return params, body[bar + 1:]
+
+
+def _substitute_params(body: str, params: List[str],
+                       values: List[str], context: str) -> str:
+    if len(values) != len(params):
+        raise ConfigError(
+            "%s: elementclass takes %d parameter(s) (%s), got %d"
+            % (context, len(params), ", ".join(params), len(values)))
+    # longest names first so $rate2 is not clobbered by $rate
+    for name, value in sorted(zip(params, values),
+                              key=lambda item: -len(item[0])):
+        body = body.replace(name, value)
+    if "$" in body:
+        raise ConfigError("%s: unbound $-parameter remains in body"
+                          % context)
+    return body
+
+
+def _inline_compound(config: RouterConfig, spec: ElementSpec,
+                     env: Dict[str, str], depth: int) -> None:
+    params, body_text = _split_compound_params(env[spec.class_name])
+    values = spec.config_args() if spec.config else []
+    if params or values:
+        body_text = _substitute_params(body_text, params, values,
+                                       "%s (%s)" % (spec.name,
+                                                    spec.class_name))
+    body = _Parser(_tokenize(strip_comments(body_text)),
+                   compound=True, elementclasses=env).parse()
+    _expand_compounds(body, env, depth + 1)
+    prefix = spec.name + "/"
+
+    # inline the body's real elements
+    for inner in body.elements.values():
+        if inner.class_name in (COMPOUND_INPUT, COMPOUND_OUTPUT):
+            continue
+        config.elements[prefix + inner.name] = ElementSpec(
+            prefix + inner.name, inner.class_name, inner.config)
+
+    # classify the body's connections
+    in_bindings: Dict[int, List[Tuple[str, int]]] = {}
+    out_bindings: Dict[int, List[Tuple[str, int]]] = {}
+    passthrough: List[Tuple[int, int]] = []
+    for conn in body.connections:
+        from_pseudo = conn.from_element == "input"
+        to_pseudo = conn.to_element == "output"
+        if from_pseudo and to_pseudo:
+            passthrough.append((conn.from_port, conn.to_port))
+        elif from_pseudo:
+            in_bindings.setdefault(conn.from_port, []).append(
+                (prefix + conn.to_element, conn.to_port))
+        elif to_pseudo:
+            out_bindings.setdefault(conn.to_port, []).append(
+                (prefix + conn.from_element, conn.from_port))
+        elif conn.to_element == "input" or conn.from_element == "output":
+            raise ConfigError(
+                "elementclass %s: 'input' has no inputs and 'output' "
+                "has no outputs" % spec.class_name)
+        else:
+            config.connections.append(ConnectionSpec(
+                prefix + conn.from_element, conn.from_port,
+                prefix + conn.to_element, conn.to_port))
+
+    # collect + strip the outer connections touching the instance
+    del config.elements[spec.name]
+    outer_in: Dict[int, List[Tuple[str, int]]] = {}
+    outer_out: Dict[int, List[Tuple[str, int]]] = {}
+    remaining: List[ConnectionSpec] = []
+    for conn in config.connections:
+        touches = False
+        if conn.to_element == spec.name:
+            outer_in.setdefault(conn.to_port, []).append(
+                (conn.from_element, conn.from_port))
+            touches = True
+        if conn.from_element == spec.name:
+            outer_out.setdefault(conn.from_port, []).append(
+                (conn.to_element, conn.to_port))
+            touches = True
+        if not touches:
+            remaining.append(conn)
+    config.connections = remaining
+
+    # splice: outer feeders -> internal input bindings (+ passthrough)
+    for port, feeders in outer_in.items():
+        targets = list(in_bindings.get(port, []))
+        pass_targets = []
+        for in_port, out_port in passthrough:
+            if in_port == port:
+                pass_targets.extend(outer_out.get(out_port, []))
+        if not targets and not pass_targets:
+            raise ConfigError(
+                "%s (%s) has no input port %d"
+                % (spec.name, spec.class_name, port))
+        for from_element, from_port in feeders:
+            for to_element, to_port in targets + pass_targets:
+                config.connections.append(ConnectionSpec(
+                    from_element, from_port, to_element, to_port))
+
+    # splice: internal output bindings -> outer consumers
+    for port, consumers in outer_out.items():
+        sources = out_bindings.get(port, [])
+        fed_by_passthrough = any(out_port == port
+                                 for _in, out_port in passthrough)
+        if not sources and not fed_by_passthrough:
+            raise ConfigError(
+                "%s (%s) has no output port %d"
+                % (spec.name, spec.class_name, port))
+        for from_element, from_port in sources:
+            for to_element, to_port in consumers:
+                config.connections.append(ConnectionSpec(
+                    from_element, from_port, to_element, to_port))

@@ -1,0 +1,40 @@
+"""Global registry mapping Click element class names to Python classes."""
+
+from typing import Dict, List, Type
+
+from repro.click.element import Element
+from repro.click.errors import ConfigError
+
+_REGISTRY: Dict[str, Type[Element]] = {}
+
+
+def element_class(name: str = None):
+    """Class decorator registering an :class:`Element` subclass.
+
+    The Click-language name defaults to the Python class name::
+
+        @element_class()
+        class Counter(Element): ...
+    """
+    def register(cls: Type[Element]) -> Type[Element]:
+        click_name = name or cls.__name__
+        existing = _REGISTRY.get(click_name)
+        if existing is not None and existing is not cls:
+            raise ConfigError("element class %r already registered to %r"
+                              % (click_name, existing))
+        _REGISTRY[click_name] = cls
+        return cls
+    return register
+
+
+def lookup_element(name: str) -> Type[Element]:
+    """The registered class for ``name``; raises ConfigError if unknown."""
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ConfigError("unknown element class %r" % name)
+    return cls
+
+
+def registered_elements() -> List[str]:
+    """Sorted list of every registered element class name."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,370 @@
+"""The ESCAPE facade: all three UNIFY layers in one object (Fig. 1).
+
+Construction wires, bottom-up:
+
+* **infrastructure layer** — the emulated network (hosts, OpenFlow
+  switches, VNF containers) plus a NETCONF agent per container on a
+  dedicated control channel,
+* **orchestration layer** — the POX-analog controller (learning switch
+  fallback, LLDP discovery, traffic steering) and the Orchestrator with
+  its pluggable mapping algorithms and per-container NETCONF clients,
+* **service layer** — the catalog-backed service API with SLA checks.
+
+Typical use::
+
+    from repro.core import ESCAPE
+    from repro.core.sgfile import load_topology, load_service_graph
+
+    escape = ESCAPE.from_topology(load_topology(topo_json))
+    escape.start()
+    chain = escape.deploy_service(load_service_graph(sg_json))
+    escape.run(2.0)
+    print(chain.read_handler("fw", "fw.passed"))
+"""
+
+from typing import Dict, Optional, Union
+
+from repro.core.catalog import VNFCatalog, default_catalog
+from repro.core.mapping import (BacktrackingMapper, CongestionAwareMapper,
+                                GreedyMapper, Mapper,
+                                ShortestPathMapper)
+from repro.core.monitor import VNFMonitor
+from repro.core.nffg import ServiceGraph
+from repro.core.orchestrator import DeployedChain, Orchestrator
+from repro.core.service import ServiceLayer, ServiceRequest
+from repro.core.sgfile import load_service_graph
+from repro.netconf import NetconfClient, TransportPair, VNFAgent
+from repro.netem import CLI, Network, Topo
+from repro.openflow import Match
+from repro.pox import (Core, Discovery, L2LearningSwitch, OpenFlowNexus,
+                       StatsCollector, TrafficSteering)
+from repro.sim import Simulator
+
+
+class ESCAPE:
+    """The prototyping framework, fully assembled."""
+
+    STARTUP_SETTLE = 0.1  # simulated seconds for handshakes/discovery
+
+    def __init__(self, net: Network,
+                 catalog: Optional[VNFCatalog] = None,
+                 steering_mode: str = "exact",
+                 control_latency: float = 0.001,
+                 discovery_interval: float = 1.0,
+                 control_network: str = "outband",
+                 of_wire: bool = False):
+        self.net = net
+        net.serialize_openflow = of_wire
+        self.sim: Simulator = net.sim
+        self.catalog = catalog or default_catalog()
+
+        # orchestration layer: controller platform
+        self.core = Core(self.sim)
+        self.nexus = OpenFlowNexus(self.core)
+        self.l2_learning = L2LearningSwitch(self.nexus)
+        self.discovery = Discovery(self.nexus,
+                                   send_interval=discovery_interval,
+                                   link_timeout=6 * discovery_interval)
+        self.steering = TrafficSteering(self.nexus, mode=steering_mode)
+        self.stats = StatsCollector(self.nexus)
+        self.core.register("openflow", self.nexus)
+        self.core.register("stats", self.stats)
+        self.core.register("l2_learning", self.l2_learning)
+        self.core.register("discovery", self.discovery)
+        self.core.register("steering", self.steering)
+        net.add_controller(self.nexus)
+
+        # infrastructure layer management plane: one NETCONF agent +
+        # client per container over the dedicated control network.
+        # "outband": in-memory latency-modelled pipes (the default).
+        # "inband": an emulated hub network carrying the management
+        # frames ("the establishment of dedicated control network is
+        # also possible where the management agents of the VNFs are
+        # connected", §2 of the paper).
+        if control_network not in ("outband", "inband"):
+            raise ValueError("control_network must be outband or inband")
+        self.control_network = control_network
+        self.agents: Dict[str, VNFAgent] = {}
+        self.netconf_clients: Dict[str, NetconfClient] = {}
+        if control_network == "inband":
+            self._build_inband_control_network(control_latency)
+        else:
+            for container in net.vnf_containers():
+                pair = TransportPair(self.sim, latency=control_latency)
+                self.agents[container.name] = VNFAgent(container,
+                                                       pair.server)
+                self.netconf_clients[container.name] = NetconfClient(
+                    pair.client)
+
+        # orchestrator + service layer
+        self._finish_init(net)
+
+    def _build_inband_control_network(self,
+                                      control_latency: float) -> None:
+        """Hang every container's management interface (and one
+        orchestrator-side interface per agent) off a dedicated hub."""
+        from repro.netconf.ethtransport import EthTransport
+        from repro.netem.node import Node as PlainNode
+        self.mgmt_hub = self.net.add_hub("mgmt0")
+        self.mgmt_node = self.net.add_node(
+            PlainNode("orchestrator-mgmt", self.sim))
+        for container in self.net.vnf_containers():
+            orch_link = self.net.add_link(self.mgmt_node, self.mgmt_hub,
+                                          delay=control_latency / 2)
+            agent_link = self.net.add_link(container, self.mgmt_hub,
+                                           delay=control_latency / 2)
+            orch_intf = (orch_link.intf1
+                         if orch_link.intf1.node is self.mgmt_node
+                         else orch_link.intf2)
+            agent_intf = (agent_link.intf1
+                          if agent_link.intf1.node is container
+                          else agent_link.intf2)
+            container.set_mgmt_interface(agent_intf)
+            agent_transport = EthTransport(agent_intf, orch_intf.mac)
+            client_transport = EthTransport(orch_intf, agent_intf.mac)
+            self.agents[container.name] = VNFAgent(container,
+                                                   agent_transport)
+            self.netconf_clients[container.name] = NetconfClient(
+                client_transport)
+
+    def _finish_init(self, net: Network) -> None:
+        self.orchestrator = Orchestrator(net, self.steering, self.catalog,
+                                         self.netconf_clients)
+        self.mappers: Dict[str, Mapper] = {
+            "greedy": GreedyMapper(self.catalog),
+            "shortest-path": ShortestPathMapper(self.catalog),
+            "backtracking": BacktrackingMapper(self.catalog),
+            "congestion-aware": CongestionAwareMapper(self.catalog),
+        }
+        self.service_layer = ServiceLayer(self.orchestrator,
+                                          self.mappers["shortest-path"])
+        self.started = False
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_topology(cls, topo: Topo, sim: Optional[Simulator] = None,
+                      **options) -> "ESCAPE":
+        """Demo step (1): containers + the rest of the topology."""
+        return cls(Network.build(topo, sim=sim), **options)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self, settle: Optional[float] = None) -> None:
+        """Bring the framework up: OF handshakes, NETCONF hellos, LLDP."""
+        if self.started:
+            return
+        self.net.static_arp()
+        self.net.start()
+        self.net.run(settle if settle is not None else self.STARTUP_SETTLE)
+        # the OF handshake must complete before guards/steering can be
+        # installed, whatever settle the caller picked
+        deadline = self.sim.now + 5.0
+        while len(self.nexus.connections) < len(self.net.switches()):
+            if self.sim.peek() is None or self.sim.now > deadline:
+                raise RuntimeError("OpenFlow handshake did not complete")
+            self.sim.step()
+        for client in self.netconf_clients.values():
+            client.wait_connected()
+        self._install_container_port_guards()
+        self.net.run(0.01)  # let the guard flow-mods land
+        self.started = True
+
+    GUARD_PRIORITY = 0x3000  # above l2_learning, below steering
+
+    def _install_container_port_guards(self) -> None:
+        """Drop non-steered traffic entering from VNF-container ports.
+
+        Learning-switch flooding copies frames into container ports;
+        bump-in-the-wire VNFs would forward them back, and two VNFs on
+        different switches turn that into a broadcast storm.  Container
+        ports are not part of the L2 learning domain: anything a VNF
+        emits either matches a steering entry (higher priority) or is
+        chain-internal leakage to drop.
+        """
+        from repro.netem.node import Switch
+        from repro.netem.vnf import VNFContainer
+        from repro.openflow import FlowMod, Match
+        for link in self.net.links:
+            for intf, peer in ((link.intf1, link.intf2),
+                               (link.intf2, link.intf1)):
+                if not isinstance(intf.node, Switch):
+                    continue
+                if not isinstance(peer.node, VNFContainer):
+                    continue
+                switch = intf.node
+                port_no = switch.port_number(intf)
+                self.nexus.send(switch.dpid, FlowMod(
+                    Match(in_port=port_no), actions=[],
+                    priority=self.GUARD_PRIORITY))
+
+    def stop(self) -> None:
+        for chain in list(self.service_layer.services.values()):
+            chain.undeploy()
+        self.net.stop()
+        self.started = False
+
+    def run(self, duration: float) -> None:
+        """Advance simulated time."""
+        self.net.run(duration)
+
+    # -- service layer API ----------------------------------------------------
+
+    def add_mapper(self, name: str, mapper: Mapper) -> None:
+        """Plug in a custom mapping algorithm."""
+        self.mappers[name] = mapper
+
+    def deploy_service(self, sg: Union[ServiceGraph, dict, str],
+                       mapper: Union[str, Mapper] = "shortest-path",
+                       match: Optional[Match] = None,
+                       return_path: str = "direct") -> DeployedChain:
+        """Demo steps (2)+(3): take an SG and map+deploy it."""
+        if not self.started:
+            raise RuntimeError("call start() before deploying services")
+        if not isinstance(sg, ServiceGraph):
+            sg = load_service_graph(sg)
+        if isinstance(mapper, str):
+            if mapper not in self.mappers:
+                raise KeyError("unknown mapper %r (have: %s)"
+                               % (mapper, ", ".join(sorted(self.mappers))))
+            mapper = self.mappers[mapper]
+        request = ServiceRequest(sg, match=match, return_path=return_path)
+        return self.service_layer.submit(request, mapper)
+
+    def terminate_service(self, name: str) -> None:
+        self.service_layer.terminate(name)
+
+    def monitor(self, chain: DeployedChain,
+                interval: float = 0.5) -> VNFMonitor:
+        """Demo step (5): a Clicky-style monitor on a running chain."""
+        monitor = VNFMonitor(chain, interval=interval)
+        monitor.watch_catalog_defaults()
+        return monitor
+
+    def status(self) -> dict:
+        """Structured snapshot of the whole framework: the "real-time
+        management information" the paper's orchestration layer exposes.
+        """
+        services = {}
+        for name, chain in self.service_layer.services.items():
+            services[name] = {
+                "active": chain.active,
+                "mapper": chain.mapper.name,
+                "placement": dict(chain.mapping.vnf_placement),
+                "paths": len(chain.path_ids),
+            }
+        containers = {}
+        for container in self.net.vnf_containers():
+            snapshot = container.budget.snapshot()
+            containers[container.name] = {
+                "vnfs": sorted(container.vnfs),
+                "cpu_used": snapshot["cpu_used"],
+                "cpu_capacity": snapshot["cpu_capacity"],
+                "mem_used": snapshot["mem_used"],
+                "mem_capacity": snapshot["mem_capacity"],
+                "free_interfaces": len(container.free_interfaces()),
+            }
+        switches = {}
+        for switch in self.net.switches():
+            switches[switch.name] = {
+                "dpid": switch.dpid,
+                "connected": switch.dpid in self.nexus.connections,
+                "flows": len(switch.datapath.table),
+                "packet_ins": switch.datapath.packet_in_count,
+                "forwarded": switch.datapath.forwarded_count,
+            }
+        return {
+            "time": self.sim.now,
+            "started": self.started,
+            "services": services,
+            "containers": containers,
+            "switches": switches,
+            "steering_paths": len(self.steering.paths),
+            "discovered_links": len(self.discovery.links()),
+        }
+
+    def cli(self) -> CLI:
+        """The interactive console: Mininet-style network commands plus
+        ESCAPE service commands (services / deploy / undeploy / migrate
+        / topology)."""
+        console = CLI(self.net)
+        console.commands.update({
+            "services": self._cli_services,
+            "deploy": self._cli_deploy,
+            "undeploy": self._cli_undeploy,
+            "migrate": self._cli_migrate,
+            "topology": self._cli_topology,
+            "catalog": self._cli_catalog,
+            "status": self._cli_status,
+        })
+        return console
+
+    # -- CLI command handlers -------------------------------------------------
+
+    def _cli_services(self, args) -> str:
+        if not self.service_layer.services:
+            return "no services deployed"
+        lines = []
+        for name, chain in sorted(self.service_layer.services.items()):
+            placement = ", ".join("%s->%s" % item for item
+                                  in chain.mapping.vnf_placement.items())
+            lines.append("%s: %s [%s]"
+                         % (name, placement,
+                            "active" if chain.active else "down"))
+        return "\n".join(lines)
+
+    def _cli_deploy(self, args) -> str:
+        if len(args) < 1:
+            return ("usage: deploy <sg.json path> [mapper]\n"
+                    "       (a JSON service-graph description file)")
+        with open(args[0]) as handle:
+            sg = load_service_graph(handle.read())
+        mapper = args[1] if len(args) > 1 else "shortest-path"
+        chain = self.deploy_service(sg, mapper=mapper)
+        return "deployed %s: %r" % (sg.name, chain.mapping.vnf_placement)
+
+    def _cli_undeploy(self, args) -> str:
+        if len(args) != 1:
+            return "usage: undeploy <service-name>"
+        self.terminate_service(args[0])
+        return "undeployed %s" % args[0]
+
+    def _cli_migrate(self, args) -> str:
+        if len(args) != 3:
+            return "usage: migrate <service-name> <vnf> <container>"
+        chain = self.service_layer.services.get(args[0])
+        if chain is None:
+            return "*** no service %r" % args[0]
+        chain.migrate(args[1], args[2])
+        return "migrated %s/%s to %s" % (args[0], args[1], args[2])
+
+    def _cli_topology(self, args) -> str:
+        report = self.orchestrator.verify_topology(self.discovery)
+        if not report["missing"] and not report["unexpected"]:
+            return "topology verified: view matches discovery"
+        lines = []
+        for pair in report["missing"]:
+            lines.append("MISSING   %s -- %s (in view, not discovered)"
+                         % pair)
+        for pair in report["unexpected"]:
+            lines.append("UNEXPECTED %s -- %s (discovered, not in view)"
+                         % pair)
+        return "\n".join(lines)
+
+    def _cli_status(self, args) -> str:
+        import json
+        return json.dumps(self.status(), indent=2, sort_keys=True)
+
+    def _cli_catalog(self, args) -> str:
+        lines = []
+        for name in self.catalog.names():
+            entry = self.catalog.get(name)
+            params = ", ".join(entry.parameters()) or "-"
+            lines.append("%-16s cpu=%.2f mem=%-6.0f params: %s"
+                         % (name, entry.cpu, entry.mem, params))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "ESCAPE(%r, %d containers, %s)" % (
+            self.net, len(self.agents),
+            "started" if self.started else "stopped")

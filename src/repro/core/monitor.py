@@ -1,0 +1,145 @@
+"""Clicky-analog VNF monitoring.
+
+Demo step (5): "monitor the VNFs with Clicky".  Clicky is Click's GUI
+that polls element handlers; :class:`VNFMonitor` does the same through
+the management plane — each poll is a ``getVNFInfo`` NETCONF RPC — and
+keeps per-handler time series.
+"""
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.orchestrator import DeployedChain
+
+
+class MonitorSample:
+    __slots__ = ("time", "value")
+
+    def __init__(self, time: float, value: str):
+        self.time = time
+        self.value = value
+
+    def as_float(self) -> Optional[float]:
+        try:
+            return float(self.value)
+        except ValueError:
+            return None
+
+    def __repr__(self) -> str:
+        return "MonitorSample(%.3f, %r)" % (self.time, self.value)
+
+
+class VNFMonitor:
+    """Periodic handler polling over NETCONF, with time series."""
+
+    def __init__(self, chain: DeployedChain, interval: float = 0.5):
+        self.chain = chain
+        self.sim = chain.orchestrator.net.sim
+        self.interval = interval
+        # (vnf name, handler) -> samples
+        self.series: Dict[tuple, List[MonitorSample]] = {}
+        self._watch: List[tuple] = []
+        self._task = None
+        self.polls = 0
+        self.poll_errors = 0
+        self.running = False
+        self._callbacks: List[Callable] = []
+
+    def watch(self, vnf_name: str, handler: str) -> None:
+        """Add a handler to the polling set."""
+        key = (vnf_name, handler)
+        if key not in self._watch:
+            self._watch.append(key)
+            self.series.setdefault(key, [])
+
+    def watch_catalog_defaults(self) -> None:
+        """Watch every chain VNF's catalog-declared monitor handlers."""
+        for vnf_name, vnf in self.chain.sg.vnfs.items():
+            entry = self.chain.orchestrator.catalog.get(vnf.vnf_type)
+            for handler in entry.monitor_handlers:
+                self.watch(vnf_name, handler)
+
+    def on_sample(self, callback: Callable[[str, str, MonitorSample],
+                                           None]) -> None:
+        """Live-dashboard hook: called for every new sample."""
+        self._callbacks.append(callback)
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._task = self.sim.schedule(0.0, self._poll_round)
+
+    def stop(self) -> None:
+        self.running = False
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def _poll_round(self) -> None:
+        if not self.running or not self.chain.active:
+            self.running = False
+            return
+        for vnf_name, handler in self._watch:
+            self._poll_one(vnf_name, handler)
+        self._task = self.sim.schedule(self.interval, self._poll_round)
+
+    def _poll_one(self, vnf_name: str, handler: str) -> None:
+        """Issue one async handler read; record the sample on reply."""
+        from repro.netconf.vnf_yang import VNF_NS
+        from repro.netconf.messages import qn
+        deployed = self.chain.vnfs.get(vnf_name)
+        if deployed is None:
+            return
+        client = self.chain.orchestrator.netconf_client(deployed.container)
+        self.polls += 1
+        pending = client.rpc("getVNFInfo", VNF_NS,
+                             {"id": deployed.vnf_id, "handler": handler})
+
+        def record(reply_handle, key=(vnf_name, handler)):
+            if reply_handle.error is not None:
+                self.poll_errors += 1
+                return
+            value_el = reply_handle.reply.find(qn("value", VNF_NS))
+            sample = MonitorSample(self.sim.now,
+                                   value_el.text or ""
+                                   if value_el is not None else "")
+            self.series[key].append(sample)
+            for callback in self._callbacks:
+                callback(key[0], key[1], sample)
+
+        pending.on_done(record)
+
+    # -- queries ------------------------------------------------------------
+
+    def latest(self, vnf_name: str, handler: str) -> Optional[MonitorSample]:
+        samples = self.series.get((vnf_name, handler))
+        return samples[-1] if samples else None
+
+    def rate_of(self, vnf_name: str, handler: str) -> Optional[float]:
+        """Delta/second between the last two numeric samples."""
+        samples = self.series.get((vnf_name, handler), [])
+        if len(samples) < 2:
+            return None
+        previous, current = samples[-2], samples[-1]
+        prev_value, curr_value = previous.as_float(), current.as_float()
+        if prev_value is None or curr_value is None \
+                or current.time <= previous.time:
+            return None
+        return (curr_value - prev_value) / (current.time - previous.time)
+
+    def dashboard(self) -> str:
+        """One-line-per-handler textual snapshot."""
+        lines = []
+        for (vnf_name, handler) in self._watch:
+            sample = self.latest(vnf_name, handler)
+            rate = self.rate_of(vnf_name, handler)
+            rate_text = " (%.1f/s)" % rate if rate is not None else ""
+            lines.append("%-20s %-20s %s%s"
+                         % (vnf_name, handler,
+                            sample.value if sample else "-", rate_text))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "VNFMonitor(%d handlers, %d polls, %s)" % (
+            len(self._watch), self.polls,
+            "running" if self.running else "stopped")

@@ -1,0 +1,600 @@
+"""The Orchestrator: from mapped service graphs to running chains.
+
+Deployment follows the paper's flow exactly:
+
+1. a :class:`~repro.core.mapping.Mapper` embeds the SG into the
+   resource view,
+2. each VNF is started in its assigned container through the NETCONF
+   client (``startVNF``) and its virtual devices are spliced to
+   switch-facing interfaces (``connectVNF``),
+3. the traffic-steering module installs the OpenFlow entries that pin
+   the chain's flows along the mapped substrate paths,
+4. a :class:`DeployedChain` handle exposes status, Clicky handler reads
+   and teardown.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.catalog import VNFCatalog
+from repro.core.mapping import Mapper, Mapping, MappingError
+from repro.core.nffg import ResourceView, ServiceGraph
+from repro.netconf import NetconfClient
+from repro.netconf.vnf_yang import VNF_NS
+from repro.netconf.messages import qn
+from repro.netem import Network, VNFContainer
+from repro.netem.node import Host, Switch
+from repro.openflow import Match
+from repro.packet import Ethernet
+from repro.pox.steering import PathHop, TrafficSteering
+
+
+class OrchestratorError(Exception):
+    pass
+
+
+def build_resource_view(net: Network) -> ResourceView:
+    """Derive the orchestrator's global view from the emulated network.
+
+    The view's graph is simple: parallel links between the same node
+    pair collapse into one edge (keeping the last link's delay/
+    bandwidth).  Container port accounting still counts every physical
+    interface, so multi-homed containers lose no placement capacity —
+    only per-link bandwidth of parallel trunks is approximated.
+    """
+    view = ResourceView()
+    for node in net.nodes.values():
+        if isinstance(node, Host):
+            view.add_sap(node.name)
+        elif isinstance(node, Switch):
+            view.add_switch(node.name, node.dpid)
+        elif isinstance(node, VNFContainer):
+            view.add_container(node.name, node.budget.cpu_capacity,
+                               node.budget.mem_capacity,
+                               ports=len(node.free_interfaces()))
+    for link in net.links:
+        name1 = link.intf1.node.name
+        name2 = link.intf2.node.name
+        # links to nodes outside the data plane (e.g. the management
+        # hub) are not part of the orchestrator's resource graph
+        if name1 not in view.graph or name2 not in view.graph:
+            continue
+        view.add_link(name1, name2, delay=link.delay,
+                      bandwidth=link.bandwidth)
+    return view
+
+
+class _PortMap:
+    """Resolve switch port numbers from the emulated topology."""
+
+    def __init__(self, net: Network):
+        self.net = net
+        # (switch name, peer node name) -> [(port_no, peer intf name)]
+        self._ports: Dict[Tuple[str, str], List[Tuple[int, str]]] = {}
+        for link in net.links:
+            self._note(link.intf1, link.intf2)
+            self._note(link.intf2, link.intf1)
+
+    def _note(self, intf, peer_intf) -> None:
+        node = intf.node
+        if not isinstance(node, Switch):
+            return
+        key = (node.name, peer_intf.node.name)
+        self._ports.setdefault(key, []).append(
+            (node.port_number(intf), peer_intf.name))
+
+    def port(self, switch_name: str, peer_name: str,
+             peer_intf_name: Optional[str] = None) -> int:
+        """Port on ``switch_name`` facing ``peer_name`` (optionally the
+        specific peer interface)."""
+        candidates = self._ports.get((switch_name, peer_name), [])
+        if not candidates:
+            raise OrchestratorError("no link between switch %r and %r"
+                                    % (switch_name, peer_name))
+        if peer_intf_name is None:
+            return candidates[0][0]
+        for port_no, intf_name in candidates:
+            if intf_name == peer_intf_name:
+                return port_no
+        raise OrchestratorError(
+            "switch %r has no port facing %s:%s"
+            % (switch_name, peer_name, peer_intf_name))
+
+    def peer_switch_of(self, container_name: str,
+                       intf_name: str) -> Optional[str]:
+        """Which switch a container interface links to, if any."""
+        for (switch_name, peer_name), entries in self._ports.items():
+            if peer_name != container_name:
+                continue
+            for _port, peer_intf in entries:
+                if peer_intf == intf_name:
+                    return switch_name
+        return None
+
+
+class DeployedVNF:
+    """Bookkeeping for one started VNF."""
+
+    def __init__(self, vnf_name: str, vnf_id: str, container: str,
+                 device_interfaces: Dict[str, str], cpu: float, mem: float):
+        self.vnf_name = vnf_name
+        self.vnf_id = vnf_id
+        self.container = container
+        self.device_interfaces = device_interfaces  # device -> intf name
+        self.cpu = cpu
+        self.mem = mem
+
+    def __repr__(self) -> str:
+        return "DeployedVNF(%s on %s)" % (self.vnf_name, self.container)
+
+
+class DeployedChain:
+    """Handle for a running service chain."""
+
+    def __init__(self, orchestrator: "Orchestrator", sg: ServiceGraph,
+                 mapping: Mapping, mapper: Mapper,
+                 vnfs: Dict[str, DeployedVNF], path_ids: List[str],
+                 segment_paths: Optional[Dict[tuple, str]] = None):
+        self.orchestrator = orchestrator
+        self.sg = sg
+        self.mapping = mapping
+        self.mapper = mapper
+        self.vnfs = vnfs
+        self.path_ids = path_ids
+        # (link.src, link.dst) -> steering path id, for migration
+        self.segment_paths = dict(segment_paths or {})
+        self.active = True
+
+    def migrate(self, vnf_name: str, target_container: str) -> None:
+        """Move one VNF to another container, rerouting its segments."""
+        self.orchestrator.migrate_vnf(self, vnf_name, target_container)
+
+    def read_handler(self, vnf_name: str, handler: str) -> str:
+        """Read one Clicky handler of a chain VNF over NETCONF."""
+        deployed = self._deployed(vnf_name)
+        client = self.orchestrator.netconf_client(deployed.container)
+        reply = client.rpc("getVNFInfo", VNF_NS,
+                           {"id": deployed.vnf_id,
+                            "handler": handler}).result(
+            self.orchestrator.net.sim)
+        value = reply.find(qn("value", VNF_NS))
+        return value.text or "" if value is not None else ""
+
+    def write_handler(self, vnf_name: str, handler: str,
+                      value: str) -> None:
+        deployed = self._deployed(vnf_name)
+        client = self.orchestrator.netconf_client(deployed.container)
+        client.rpc("writeVNFHandler", VNF_NS,
+                   {"id": deployed.vnf_id, "handler": handler,
+                    "value": value}).result(self.orchestrator.net.sim)
+
+    def _deployed(self, vnf_name: str) -> DeployedVNF:
+        deployed = self.vnfs.get(vnf_name)
+        if deployed is None:
+            raise OrchestratorError("chain has no VNF %r" % vnf_name)
+        return deployed
+
+    def undeploy(self) -> None:
+        if not self.active:
+            return
+        self.orchestrator._undeploy(self)
+        self.active = False
+
+    def __repr__(self) -> str:
+        return "DeployedChain(%s, %d VNFs, %s)" % (
+            self.sg.name, len(self.vnfs),
+            "active" if self.active else "torn down")
+
+
+class Orchestrator:
+    """Maps, deploys and tears down service graphs."""
+
+    def __init__(self, net: Network, steering: TrafficSteering,
+                 catalog: VNFCatalog,
+                 netconf_clients: Dict[str, NetconfClient]):
+        self.net = net
+        self.steering = steering
+        self.catalog = catalog
+        self._clients = netconf_clients
+        self.view = build_resource_view(net)
+        self.ports = _PortMap(net)
+        self.deployed: Dict[str, DeployedChain] = {}
+        self._vnf_counter = 0
+        self._path_counter = 0
+
+    def netconf_client(self, container_name: str) -> NetconfClient:
+        client = self._clients.get(container_name)
+        if client is None:
+            raise OrchestratorError("no NETCONF session to container %r"
+                                    % container_name)
+        return client
+
+    # -- deployment -------------------------------------------------------
+
+    def deploy(self, sg: ServiceGraph, mapper: Mapper,
+               match: Optional[Match] = None,
+               return_path: str = "direct") -> DeployedChain:
+        """Map ``sg`` with ``mapper`` and realize it.
+
+        ``match`` overrides the default chain flowspec (IP traffic from
+        the source SAP's address to the sink SAP's); ``return_path`` is
+        ``direct`` (steer replies along the shortest path, bypassing the
+        chain), ``none``, or ``chain`` (reverse through the VNFs; the
+        chain's VNFs must be bidirectional for this to carry traffic).
+        """
+        if sg.name in self.deployed:
+            raise OrchestratorError("service %r already deployed" % sg.name)
+        if return_path not in ("direct", "none", "chain"):
+            raise OrchestratorError("bad return_path %r" % return_path)
+        mapping = mapper.map(sg, self.view)  # raises MappingError
+        vnfs: Dict[str, DeployedVNF] = {}
+        path_ids: List[str] = []
+        segment_paths: Dict[tuple, str] = {}
+        try:
+            for vnf_name in sg.vnfs:
+                vnfs[vnf_name] = self._start_vnf(sg, mapping, vnf_name)
+            base_match = match if match is not None \
+                else self._default_match(sg)
+            for link in sg.links:
+                path_id = self._install_segment(
+                    sg, mapping, vnfs, link, base_match)
+                path_ids.append(path_id)
+                segment_paths[(link.src, link.dst)] = path_id
+            if return_path == "direct":
+                path_ids.extend(self._install_return_path(sg, base_match))
+            elif return_path == "chain":
+                path_ids.extend(self._install_chain_return(
+                    sg, mapping, vnfs, base_match))
+        except Exception:
+            self._rollback(sg, mapping, mapper, vnfs, path_ids)
+            raise
+        chain = DeployedChain(self, sg, mapping, mapper, vnfs, path_ids,
+                              segment_paths)
+        chain.base_match = base_match
+        self.deployed[sg.name] = chain
+        return chain
+
+    # -- VNF lifecycle over NETCONF -------------------------------------------
+
+    def _start_vnf(self, sg: ServiceGraph, mapping: Mapping,
+                   vnf_name: str) -> DeployedVNF:
+        vnf = sg.vnfs[vnf_name]
+        entry = self.catalog.get(vnf.vnf_type)
+        container_name = mapping.vnf_placement[vnf_name]
+        container = self.net.get(container_name)
+        client = self.netconf_client(container_name)
+        self._vnf_counter += 1
+        vnf_id = "%s-%s-%d" % (sg.name, vnf_name, self._vnf_counter)
+        cpu, mem = (vnf.cpu if vnf.cpu is not None else entry.cpu,
+                    vnf.mem if vnf.mem is not None else entry.mem)
+        config = entry.render(vnf.params)
+        client.rpc("startVNF", VNF_NS, {
+            "id": vnf_id, "click-config": config,
+            "devices": ",".join(entry.devices),
+            "cpu": str(cpu), "mem": str(mem),
+        }).result(self.net.sim)
+        device_interfaces: Dict[str, str] = {}
+        try:
+            free = container.free_interfaces()
+            for device in entry.devices:
+                if not free:
+                    raise OrchestratorError(
+                        "container %r has no free interface for %s.%s"
+                        % (container_name, vnf_name, device))
+                intf_name = free.pop(0)
+                client.rpc("connectVNF", VNF_NS, {
+                    "id": vnf_id, "device": device,
+                    "interface": intf_name,
+                }).result(self.net.sim)
+                device_interfaces[device] = intf_name
+        except Exception:
+            # the VNF already runs: stop it so a failed deploy leaves
+            # nothing behind (rollback only sees registered VNFs)
+            try:
+                client.rpc("stopVNF", VNF_NS,
+                           {"id": vnf_id}).result(self.net.sim)
+            except Exception:
+                pass
+            raise
+        return DeployedVNF(vnf_name, vnf_id, container_name,
+                           device_interfaces, cpu, mem)
+
+    # -- steering -------------------------------------------------------------
+
+    def _default_match(self, sg: ServiceGraph) -> Match:
+        source, sink = self._chain_endpoints(sg)
+        src_host = self.net.get(source)
+        dst_host = self.net.get(sink)
+        return Match(dl_type=Ethernet.IP_TYPE, nw_src=src_host.ip,
+                     nw_dst=dst_host.ip)
+
+    def _chain_endpoints(self, sg: ServiceGraph) -> Tuple[str, str]:
+        sources = [name for name in sg.saps
+                   if sg.successors(name)
+                   and not any(link.dst == name for link in sg.links)]
+        sinks = [name for name in sg.saps
+                 if not sg.successors(name)
+                 and any(link.dst == name for link in sg.links)]
+        if len(sources) != 1 or len(sinks) != 1:
+            raise OrchestratorError(
+                "cannot infer the chain flowspec (found %d source and %d "
+                "sink SAPs); pass an explicit match" % (len(sources),
+                                                        len(sinks)))
+        return sources[0], sinks[0]
+
+    def _ingress_device(self, entry_devices: List[str],
+                        index: int = 0) -> str:
+        ins = [dev for dev in entry_devices if dev.startswith("in")]
+        return ins[index] if index < len(ins) else entry_devices[0]
+
+    def _egress_device(self, entry_devices: List[str],
+                       index: int = 0) -> str:
+        outs = [dev for dev in entry_devices if dev.startswith("out")]
+        if index < len(outs):
+            return outs[index]
+        raise OrchestratorError("VNF has no egress device #%d" % index)
+
+    def _segment_hints(self, sg: ServiceGraph, vnfs: Dict[str, DeployedVNF],
+                       link) -> Tuple[Optional[str], Optional[str]]:
+        """Interface names anchoring a segment at container endpoints."""
+        src_hint = None
+        dst_hint = None
+        if link.src in sg.vnfs:
+            deployed = vnfs[link.src]
+            entry = self.catalog.get(sg.vnfs[link.src].vnf_type)
+            # successive SG links out of one VNF use out0, out1, ...
+            out_index = [l for l in sg.links
+                         if l.src == link.src].index(link)
+            device = self._egress_device(entry.devices, out_index)
+            src_hint = deployed.device_interfaces[device]
+        if link.dst in sg.vnfs:
+            deployed = vnfs[link.dst]
+            entry = self.catalog.get(sg.vnfs[link.dst].vnf_type)
+            in_index = [l for l in sg.links
+                        if l.dst == link.dst].index(link)
+            device = self._ingress_device(entry.devices, in_index)
+            dst_hint = deployed.device_interfaces[device]
+        return src_hint, dst_hint
+
+    def _install_segment(self, sg: ServiceGraph, mapping: Mapping,
+                         vnfs: Dict[str, DeployedVNF], link,
+                         base_match: Match) -> str:
+        path = mapping.link_paths[(link.src, link.dst)]
+        src_hint, dst_hint = self._segment_hints(sg, vnfs, link)
+        hops = self._path_hops(path, src_hint, dst_hint)
+        self._path_counter += 1
+        path_id = "%s/%s->%s/%d" % (sg.name, link.src, link.dst,
+                                    self._path_counter)
+        self.steering.install_path(path_id, hops, base_match)
+        return path_id
+
+    def _path_hops(self, path: List[str], src_intf: Optional[str],
+                   dst_intf: Optional[str]) -> List[PathHop]:
+        """Turn a substrate node path into per-switch (in, out) hops."""
+        hops: List[PathHop] = []
+        for index in range(1, len(path) - 1):
+            node = path[index]
+            if self.view.kind(node) != ResourceView.SWITCH:
+                continue  # paths may transit containers in odd topologies
+            prev_name, next_name = path[index - 1], path[index + 1]
+            in_hint = src_intf if index == 1 else None
+            out_hint = dst_intf if index == len(path) - 2 else None
+            in_port = self.ports.port(node, prev_name, in_hint)
+            out_port = self.ports.port(node, next_name, out_hint)
+            switch = self.net.get(node)
+            hops.append(PathHop(switch.dpid, in_port, out_port))
+        if not hops:
+            raise OrchestratorError("path %r crosses no switch" % (path,))
+        return hops
+
+    def _install_return_path(self, sg: ServiceGraph,
+                             base_match: Match) -> List[str]:
+        """Direct (chain-bypassing) steering for reply traffic."""
+        source, sink = self._chain_endpoints(sg)
+        path = self.view.shortest_path(sink, source)
+        if path is None:
+            raise OrchestratorError("no return path %s -> %s"
+                                    % (sink, source))
+        reverse_match = Match(dl_type=base_match.dl_type,
+                              nw_src=base_match.nw_dst,
+                              nw_dst=base_match.nw_src,
+                              nw_proto=base_match.nw_proto,
+                              tp_src=base_match.tp_dst,
+                              tp_dst=base_match.tp_src)
+        hops = self._path_hops(path, None, None)
+        self._path_counter += 1
+        path_id = "%s/return/%d" % (sg.name, self._path_counter)
+        self.steering.install_path(path_id, hops, reverse_match)
+        return [path_id]
+
+    def _install_chain_return(self, sg: ServiceGraph, mapping: Mapping,
+                              vnfs: Dict[str, DeployedVNF],
+                              base_match: Match) -> List[str]:
+        """Steer replies back through the chain in reverse."""
+        reverse_match = Match(dl_type=base_match.dl_type,
+                              nw_src=base_match.nw_dst,
+                              nw_dst=base_match.nw_src)
+        path_ids = []
+        for link in reversed(sg.links):
+            path = list(reversed(mapping.link_paths[(link.src, link.dst)]))
+            src_hint, dst_hint = self._segment_hints(sg, vnfs, link)
+            hops = self._path_hops(path, dst_hint, src_hint)
+            self._path_counter += 1
+            path_id = "%s/rev/%s->%s/%d" % (sg.name, link.dst, link.src,
+                                            self._path_counter)
+            self.steering.install_path(path_id, hops, reverse_match)
+            path_ids.append(path_id)
+        return path_ids
+
+    # -- topology verification ------------------------------------------------
+
+    def verify_topology(self, discovery) -> Dict[str, list]:
+        """Compare LLDP-discovered switch adjacency to the resource view.
+
+        Returns ``{"missing": [...], "unexpected": [...]}`` — inter-
+        switch links the view has but discovery has not seen (down or
+        not yet probed), and links discovery reports that the view
+        lacks (miswired topology).  Empty lists mean the orchestrator's
+        global network view matches reality.
+        """
+        name_of_dpid = {}
+        for switch_name in self.view.switches():
+            dpid = self.view.graph.nodes[switch_name].get("dpid")
+            if dpid is not None:
+                name_of_dpid[dpid] = switch_name
+        discovered = set()
+        for dpid1, _p1, dpid2, _p2 in discovery.links():
+            pair = frozenset((name_of_dpid.get(dpid1),
+                              name_of_dpid.get(dpid2)))
+            discovered.add(pair)
+        expected = set()
+        for node1, node2 in self.view.graph.edges():
+            if self.view.kind(node1) == ResourceView.SWITCH \
+                    and self.view.kind(node2) == ResourceView.SWITCH:
+                expected.add(frozenset((node1, node2)))
+        return {
+            "missing": sorted(tuple(sorted(pair))
+                              for pair in expected - discovered),
+            "unexpected": sorted(tuple(sorted(str(x) for x in pair))
+                                 for pair in discovered - expected),
+        }
+
+    # -- migration ------------------------------------------------------------
+
+    def migrate_vnf(self, chain: DeployedChain, vnf_name: str,
+                    target_container: str) -> None:
+        """Move a chain VNF to ``target_container`` and re-steer.
+
+        Make-before-break: the replacement instance starts on the
+        target, the affected segments are re-routed and re-installed,
+        then the old instance stops.  Raises OrchestratorError (leaving
+        the chain on its old placement) when the target cannot host the
+        VNF or no feasible re-route exists.
+        """
+        if not chain.active:
+            raise OrchestratorError("chain %r is not active"
+                                    % chain.sg.name)
+        deployed = chain.vnfs.get(vnf_name)
+        if deployed is None:
+            raise OrchestratorError("chain has no VNF %r" % vnf_name)
+        if target_container == deployed.container:
+            return
+        if target_container not in self.view.containers():
+            raise OrchestratorError("no container %r" % target_container)
+        sg = chain.sg
+        cpu, mem, ports = chain.mapper.demand_of(sg, vnf_name)
+        try:
+            self.view.reserve_container(target_container, cpu, mem, ports)
+        except ValueError as exc:
+            raise OrchestratorError(str(exc))
+
+        old_placement = chain.mapping.vnf_placement[vnf_name]
+        chain.mapping.vnf_placement[vnf_name] = target_container
+        new_deployed = None
+        try:
+            new_deployed = self._start_vnf(sg, chain.mapping, vnf_name)
+            chain.vnfs[vnf_name] = new_deployed  # segments splice to it
+            self._reroute_segments(chain, vnf_name)
+        except Exception:
+            chain.mapping.vnf_placement[vnf_name] = old_placement
+            chain.vnfs[vnf_name] = deployed
+            if new_deployed is not None:
+                try:
+                    self.netconf_client(target_container).rpc(
+                        "stopVNF", VNF_NS,
+                        {"id": new_deployed.vnf_id}).result(self.net.sim)
+                except Exception:
+                    pass
+            self.view.release_container(target_container, cpu, mem,
+                                        ports)
+            raise
+
+        # break: stop the old instance, release its resources
+        old_client = self.netconf_client(deployed.container)
+        old_client.rpc("stopVNF", VNF_NS,
+                       {"id": deployed.vnf_id}).result(self.net.sim)
+        self.view.release_container(old_placement, cpu, mem, ports)
+
+    def _reroute_segments(self, chain: DeployedChain,
+                          vnf_name: str) -> None:
+        """Recompute + reinstall the steering of every SG link touching
+        ``vnf_name`` under the chain's updated placement.
+
+        Break-before-make *across the affected set*: old and new
+        segments can carry identical (match, in-port) entries on shared
+        switches, so interleaving per-segment removal with installation
+        would delete freshly installed entries.  All old paths go
+        first, then all new ones.
+        """
+        sg = chain.sg
+        base_match = getattr(chain, "base_match", None) \
+            or self._default_match(sg)
+        affected = [link for link in sg.links
+                    if vnf_name in (link.src, link.dst)]
+        # phase 1: route everything (bandwidth moves over atomically)
+        new_paths = {}
+        for link in affected:
+            src = chain.mapper._place_node(sg, link.src,
+                                           chain.mapping.vnf_placement)
+            dst = chain.mapper._place_node(sg, link.dst,
+                                           chain.mapping.vnf_placement)
+            bandwidth = chain.mapper._link_bandwidth(sg, link.src,
+                                                     link.dst)
+            old_path = chain.mapping.link_paths[(link.src, link.dst)]
+            self.view.release_path_bandwidth(old_path, bandwidth)
+            new_path = self.view.shortest_path(src, dst, bandwidth)
+            if new_path is None:
+                self.view.reserve_path_bandwidth(old_path, bandwidth)
+                for done_link, (done_path, done_bw, done_old) \
+                        in new_paths.items():
+                    self.view.release_path_bandwidth(done_path, done_bw)
+                    self.view.reserve_path_bandwidth(done_old, done_bw)
+                raise OrchestratorError(
+                    "no feasible re-route %s -> %s" % (src, dst))
+            self.view.reserve_path_bandwidth(new_path, bandwidth)
+            new_paths[(link.src, link.dst)] = (new_path, bandwidth,
+                                               old_path)
+        # phase 2: remove every old affected path
+        for link in affected:
+            old_id = chain.segment_paths[(link.src, link.dst)]
+            self.steering.remove_path(old_id)
+            chain.path_ids.remove(old_id)
+        # phase 3: install the new ones
+        for link in affected:
+            chain.mapping.link_paths[(link.src, link.dst)] = \
+                new_paths[(link.src, link.dst)][0]
+            new_id = self._install_segment(sg, chain.mapping,
+                                           chain.vnfs, link, base_match)
+            chain.path_ids.append(new_id)
+            chain.segment_paths[(link.src, link.dst)] = new_id
+
+    # -- teardown -------------------------------------------------------------
+
+    def _rollback(self, sg: ServiceGraph, mapping: Mapping, mapper: Mapper,
+                  vnfs: Dict[str, DeployedVNF],
+                  path_ids: List[str]) -> None:
+        for path_id in path_ids:
+            try:
+                self.steering.remove_path(path_id)
+            except Exception:
+                pass
+        for deployed in vnfs.values():
+            try:
+                client = self.netconf_client(deployed.container)
+                client.rpc("stopVNF", VNF_NS,
+                           {"id": deployed.vnf_id}).result(self.net.sim)
+            except Exception:
+                pass
+        mapper.release(mapping, self.view)
+
+    def _undeploy(self, chain: DeployedChain) -> None:
+        for path_id in chain.path_ids:
+            self.steering.remove_path(path_id)
+        for deployed in chain.vnfs.values():
+            client = self.netconf_client(deployed.container)
+            client.rpc("stopVNF", VNF_NS,
+                       {"id": deployed.vnf_id}).result(self.net.sim)
+        chain.mapper.release(chain.mapping, self.view)
+        self.deployed.pop(chain.sg.name, None)
+
+    def __repr__(self) -> str:
+        return "Orchestrator(%d chains deployed)" % len(self.deployed)

@@ -1,0 +1,130 @@
+"""JSON descriptions of topologies and service graphs.
+
+The paper's MiniEdit-based GUI produced two artifacts: a test topology
+(VNF containers + the rest of the network) and an abstract service
+graph with requirements.  This module is that GUI's file format — the
+editors' output without the editor.
+
+Topology example::
+
+    {"nodes": [{"name": "h1", "role": "host"},
+               {"name": "s1", "role": "switch"},
+               {"name": "nc1", "role": "vnf_container",
+                "cpu": 4, "mem": 2048}],
+     "links": [{"from": "h1", "to": "s1",
+                "bandwidth": 10e6, "delay": 0.001}]}
+
+Service graph example::
+
+    {"name": "web-chain",
+     "saps": ["h1", "h2"],
+     "vnfs": [{"name": "fw", "type": "firewall",
+               "params": {"rules": "allow tcp dst port 80, drop all"}}],
+     "chain": ["h1", "fw", "h2"],
+     "requirements": [{"from": "h1", "to": "h2", "max_delay": 0.05}]}
+"""
+
+import json
+from typing import Union
+
+from repro.core.nffg import ServiceGraph
+from repro.netem.topo import Topo
+
+
+def load_topology(source: Union[str, dict]) -> Topo:
+    """Build a Topo from a JSON string / parsed dict."""
+    data = json.loads(source) if isinstance(source, str) else source
+    topo = Topo()
+    for node in data.get("nodes", []):
+        role = node.get("role", "host")
+        name = node["name"]
+        if role == "host":
+            topo.add_host(name, ip=node.get("ip"))
+        elif role == "switch":
+            topo.add_switch(name, dpid=node.get("dpid"))
+        elif role == "vnf_container":
+            topo.add_vnf_container(name, cpu=node.get("cpu", 4.0),
+                                   mem=node.get("mem", 4096.0),
+                                   isolation=node.get("isolation",
+                                                      "cgroup"))
+        else:
+            raise ValueError("unknown node role %r" % role)
+    for link in data.get("links", []):
+        topo.add_link(link["from"], link["to"],
+                      bandwidth=link.get("bandwidth"),
+                      delay=link.get("delay", 0.0),
+                      loss=link.get("loss", 0.0))
+    return topo
+
+
+def save_topology(topo: Topo) -> str:
+    """Serialize a Topo back to its JSON description."""
+    nodes = []
+    for name, (role, opts) in topo.nodes.items():
+        node = {"name": name, "role": role}
+        for key in ("ip", "dpid", "cpu", "mem", "isolation"):
+            if opts.get(key) is not None:
+                node[key] = opts[key]
+        nodes.append(node)
+    links = []
+    for node1, node2, opts in topo.links:
+        link = {"from": node1, "to": node2}
+        if opts.get("bandwidth") is not None:
+            link["bandwidth"] = opts["bandwidth"]
+        if opts.get("delay"):
+            link["delay"] = opts["delay"]
+        if opts.get("loss"):
+            link["loss"] = opts["loss"]
+        links.append(link)
+    return json.dumps({"nodes": nodes, "links": links}, indent=2)
+
+
+def load_service_graph(source: Union[str, dict]) -> ServiceGraph:
+    """Build a ServiceGraph from a JSON string / parsed dict."""
+    data = json.loads(source) if isinstance(source, str) else source
+    sg = ServiceGraph(data.get("name", "sg"))
+    for sap in data.get("saps", []):
+        sg.add_sap(sap)
+    for vnf in data.get("vnfs", []):
+        sg.add_vnf(vnf["name"], vnf["type"],
+                   params=vnf.get("params"),
+                   cpu=vnf.get("cpu"), mem=vnf.get("mem"))
+    if "chain" in data:
+        sg.add_chain(data["chain"], bandwidth=data.get("bandwidth", 0.0))
+    for link in data.get("links", []):
+        sg.add_link(link["from"], link["to"],
+                    bandwidth=link.get("bandwidth", 0.0))
+    for requirement in data.get("requirements", []):
+        sg.add_requirement(requirement["from"], requirement["to"],
+                           max_delay=requirement.get("max_delay"),
+                           min_bandwidth=requirement.get("min_bandwidth"))
+    sg.validate()
+    return sg
+
+
+def save_service_graph(sg: ServiceGraph) -> str:
+    """Serialize a ServiceGraph back to its JSON description."""
+    vnfs = []
+    for vnf in sg.vnfs.values():
+        entry = {"name": vnf.name, "type": vnf.vnf_type}
+        if vnf.params:
+            entry["params"] = vnf.params
+        if vnf.cpu is not None:
+            entry["cpu"] = vnf.cpu
+        if vnf.mem is not None:
+            entry["mem"] = vnf.mem
+        vnfs.append(entry)
+    links = [{"from": link.src, "to": link.dst,
+              **({"bandwidth": link.bandwidth} if link.bandwidth else {})}
+             for link in sg.links]
+    requirements = []
+    for requirement in sg.requirements:
+        entry = {"from": requirement.src, "to": requirement.dst}
+        if requirement.max_delay is not None:
+            entry["max_delay"] = requirement.max_delay
+        if requirement.min_bandwidth is not None:
+            entry["min_bandwidth"] = requirement.min_bandwidth
+        requirements.append(entry)
+    return json.dumps({"name": sg.name, "saps": list(sg.saps),
+                       "vnfs": vnfs, "links": links,
+                       "requirements": requirements}, indent=2)

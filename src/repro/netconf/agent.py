@@ -1,0 +1,157 @@
+"""The VNF-container NETCONF agent (OpenYuma analog).
+
+Wires the :data:`~repro.netconf.vnf_yang.VNF_YANG` model to a
+:class:`~repro.netem.vnf.VNFContainer`: every RPC input is validated
+against the YANG schema, then executed by the container's
+instrumentation methods.  Migrating to a real platform would swap only
+those instrumentation calls — the point the paper makes about its agent
+design.
+"""
+
+import xml.etree.ElementTree as ET
+from typing import List, Optional
+
+from repro.click.element import HandlerError
+from repro.click.errors import ClickError
+from repro.netconf.errors import RpcError
+from repro.netconf.messages import local_name, qn
+from repro.netconf.server import NetconfServer
+from repro.netconf.transport import InMemoryTransport
+from repro.netconf.vnf_yang import VNF_NS, VNF_YANG
+from repro.netconf.yang import ValidationError, compile_module, parse_yang
+from repro.netem.resources import ResourceError
+from repro.netem.vnf import VNFContainer
+
+CAP_VNF = "urn:escape:capability:vnf:1.0"
+
+
+class VNFAgent:
+    """NETCONF agent managing one VNF container."""
+
+    def __init__(self, container: VNFContainer,
+                 transport: InMemoryTransport):
+        self.container = container
+        self.module = compile_module(parse_yang(VNF_YANG))
+        from repro.netconf.messages import CAP_BASE_10, CAP_BASE_11
+        self.server = NetconfServer(
+            transport,
+            capabilities=[CAP_BASE_10, CAP_BASE_11, CAP_VNF,
+                          self.module.namespace])
+        for rpc_name in ("startVNF", "stopVNF", "connectVNF",
+                         "disconnectVNF", "getVNFInfo", "listHandlers",
+                         "writeVNFHandler"):
+            self.server.register_rpc(
+                rpc_name,
+                lambda op, name=rpc_name: self._invoke(name, op))
+        # operational state is served through <get>: regenerate on demand
+        self._install_state_hook()
+
+    def _install_state_hook(self) -> None:
+        original = self.server._op_get
+
+        def op_get(operation, config_only):
+            if not config_only:
+                self._refresh_state()
+            return original(operation, config_only)
+
+        self.server._op_get = op_get
+
+    # -- rpc execution ----------------------------------------------------
+
+    def _invoke(self, name: str,
+                operation: ET.Element) -> Optional[List[ET.Element]]:
+        try:
+            self.module.validate_rpc_input(name, operation)
+        except ValidationError as exc:
+            raise RpcError(error_type="application", tag="invalid-value",
+                           message=str(exc))
+        params = {local_name(child.tag): (child.text or "").strip()
+                  for child in operation}
+        try:
+            return getattr(self, "_rpc_%s" % name)(params)
+        except (ValueError, ResourceError, HandlerError,
+                ClickError) as exc:
+            raise RpcError(error_type="application",
+                           tag="operation-failed", message=str(exc))
+
+    def _rpc_startVNF(self, params) -> List[ET.Element]:
+        devices = [dev.strip()
+                   for dev in params.get("devices", "").split(",")
+                   if dev.strip()]
+        process = self.container.start_vnf(
+            params["id"], params["click-config"], devices,
+            cpu=float(params.get("cpu", 0.5)),
+            mem=float(params.get("mem", 256.0)))
+        status = ET.Element(qn("status", VNF_NS))
+        status.text = process.status
+        return [status]
+
+    def _rpc_stopVNF(self, params) -> None:
+        self.container.stop_vnf(params["id"])
+        return None
+
+    def _rpc_connectVNF(self, params) -> None:
+        self.container.connect_vnf(params["id"], params["device"],
+                                   params["interface"])
+        return None
+
+    def _rpc_disconnectVNF(self, params) -> None:
+        self.container.disconnect_vnf(params["id"], params["device"])
+        return None
+
+    def _rpc_getVNFInfo(self, params) -> List[ET.Element]:
+        process = self.container.get_vnf(params["id"])
+        value = ET.Element(qn("value", VNF_NS))
+        value.text = process.read_handler(params["handler"])
+        return [value]
+
+    def _rpc_listHandlers(self, params) -> List[ET.Element]:
+        process = self.container.get_vnf(params["id"])
+        lines = []
+        for element_name, (reads, _writes) in sorted(
+                process.handlers().items()):
+            for handler in reads:
+                lines.append("%s.%s" % (element_name, handler))
+        value = ET.Element(qn("handlers", VNF_NS))
+        value.text = "\n".join(lines)
+        return [value]
+
+    def _rpc_writeVNFHandler(self, params) -> None:
+        process = self.container.get_vnf(params["id"])
+        process.write_handler(params["handler"], params["value"])
+        return None
+
+    # -- operational state ----------------------------------------------------
+
+    def _refresh_state(self) -> None:
+        """Rebuild the <vnfs> and <capacity> subtrees in running."""
+        store = self.server.datastores["running"]
+        for tag in ("vnfs", "capacity"):
+            existing = store.root.find(qn(tag, VNF_NS))
+            if existing is not None:
+                store.root.remove(existing)
+        vnfs = ET.SubElement(store.root, qn("vnfs", VNF_NS))
+        for vnf_id, info in sorted(
+                self.container.status_report().items()):
+            vnf = ET.SubElement(vnfs, qn("vnf", VNF_NS))
+            ET.SubElement(vnf, qn("id", VNF_NS)).text = vnf_id
+            ET.SubElement(vnf, qn("status", VNF_NS)).text = info["status"]
+            ET.SubElement(vnf, qn("cpu", VNF_NS)).text = str(info["cpu"])
+            ET.SubElement(vnf, qn("mem", VNF_NS)).text = str(info["mem"])
+            ET.SubElement(vnf, qn("uptime", VNF_NS)).text = \
+                "%.6f" % info["uptime"]
+            for devname, intf in sorted(info["devices"].items()):
+                device = ET.SubElement(vnf, qn("device", VNF_NS))
+                ET.SubElement(device, qn("name", VNF_NS)).text = devname
+                ET.SubElement(device, qn("interface", VNF_NS)).text = \
+                    intf or ""
+        capacity = ET.SubElement(store.root, qn("capacity", VNF_NS))
+        snapshot = self.container.budget.snapshot()
+        for key in ("cpu_capacity", "cpu_used", "mem_capacity", "mem_used"):
+            tag = key.replace("_", "-")
+            ET.SubElement(capacity, qn(tag, VNF_NS)).text = \
+                "%.3f" % snapshot[key]
+
+    def __repr__(self) -> str:
+        return "VNFAgent(%s, session=%d)" % (self.container.name,
+                                             self.server.session_id)

@@ -1,0 +1,199 @@
+"""NETCONF client (the orchestrator's manager side)."""
+
+import itertools
+import xml.etree.ElementTree as ET
+from typing import Callable, Dict, List, Optional
+
+from repro.netconf.errors import NetconfError, RpcError, SessionError
+from repro.netconf.framing import ChunkedFramer, EomFramer
+from repro.netconf import messages as nc
+from repro.netconf.transport import InMemoryTransport
+from repro.sim import Simulator
+
+
+class PendingReply:
+    """Future-like handle for an in-flight RPC.
+
+    Fills in when the rpc-reply arrives; :meth:`result` pumps the
+    simulator until then (usable from top-level driver code, not from
+    inside sim callbacks).  ``on_done`` callbacks support fully
+    event-driven callers.
+    """
+
+    def __init__(self, message_id: int):
+        self.message_id = message_id
+        self.done = False
+        self.reply: Optional[ET.Element] = None
+        self.error: Optional[RpcError] = None
+        self._callbacks: List[Callable[["PendingReply"], None]] = []
+
+    def on_done(self, callback: Callable[["PendingReply"], None]) -> None:
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _resolve(self, reply: ET.Element) -> None:
+        self.reply = reply
+        self.error = nc.parse_rpc_error(reply)
+        self.done = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def result(self, sim: Simulator, timeout: float = 10.0) -> ET.Element:
+        """Run the simulation until the reply lands; raises RpcError on
+        an error reply, NetconfError on timeout."""
+        deadline = sim.now + timeout
+        while not self.done:
+            next_time = sim.peek()
+            if next_time is None or next_time > deadline:
+                raise NetconfError("rpc %d timed out" % self.message_id)
+            sim.step()
+        if self.error is not None:
+            raise self.error
+        return self.reply
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return "PendingReply(id=%d, %s)" % (self.message_id, state)
+
+
+class NetconfClient:
+    """Manager endpoint: hello, rpc issue/track, convenience operations."""
+
+    def __init__(self, transport: InMemoryTransport,
+                 capabilities: Optional[List[str]] = None):
+        self.transport = transport
+        self.sim = transport.sim
+        self.capabilities = list(capabilities or []) or [nc.CAP_BASE_10,
+                                                         nc.CAP_BASE_11]
+        self.server_capabilities: Optional[List[str]] = None
+        self.session_id: Optional[int] = None
+        self._rx_framer = EomFramer()
+        self._tx_framer = EomFramer()
+        self._message_ids = itertools.count(101)
+        self._pending: Dict[int, PendingReply] = {}
+        self.closed = False
+        self.rpcs_sent = 0
+        transport.set_receiver(self._receive)
+        self.transport.send(self._tx_framer.frame(
+            nc.to_xml(nc.build_hello(self.capabilities))))
+
+    @property
+    def connected(self) -> bool:
+        return self.session_id is not None and not self.closed
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _receive(self, data: bytes) -> None:
+        if self.closed:
+            return
+        for payload in self._rx_framer.feed(data):
+            self._handle_message(payload)
+
+    def _handle_message(self, payload: bytes) -> None:
+        kind, root = nc.parse_message(payload)
+        if kind == "hello":
+            self.server_capabilities = nc.hello_capabilities(root)
+            self.session_id = nc.hello_session_id(root)
+            if (nc.CAP_BASE_11 in self.capabilities
+                    and nc.CAP_BASE_11 in self.server_capabilities):
+                self._rx_framer = ChunkedFramer()
+                self._tx_framer = ChunkedFramer()
+            return
+        if kind != "rpc-reply":
+            return
+        message_id_text = root.get("message-id")
+        if message_id_text is None:
+            return  # unsolicited error without id: nothing to match
+        pending = self._pending.pop(int(message_id_text), None)
+        if pending is not None:
+            pending._resolve(root)
+
+    # -- rpc issue ------------------------------------------------------------
+
+    def request(self, operation: ET.Element) -> PendingReply:
+        """Send one RPC; returns the pending reply handle."""
+        if self.closed:
+            raise SessionError("session is closed")
+        if self.session_id is None:
+            raise SessionError("hello exchange not complete yet "
+                               "(run the simulator first)")
+        message_id = next(self._message_ids)
+        pending = PendingReply(message_id)
+        self._pending[message_id] = pending
+        self.rpcs_sent += 1
+        self.transport.send(self._tx_framer.frame(
+            nc.to_xml(nc.build_rpc(message_id, operation))))
+        return pending
+
+    def call(self, operation: ET.Element,
+             timeout: float = 10.0) -> ET.Element:
+        """request() + result(): the blocking-style convenience."""
+        return self.request(operation).result(self.sim, timeout)
+
+    def wait_connected(self, timeout: float = 5.0) -> None:
+        """Pump the simulator until the hello exchange completes."""
+        deadline = self.sim.now + timeout
+        while self.session_id is None:
+            next_time = self.sim.peek()
+            if next_time is None or next_time > deadline:
+                raise SessionError("hello exchange timed out")
+            self.sim.step()
+
+    # -- convenience operations -----------------------------------------------
+
+    def get(self, filter_element: Optional[ET.Element] = None
+            ) -> PendingReply:
+        return self.request(nc.build_get(filter_element))
+
+    def get_config(self, source: str = "running",
+                   filter_element: Optional[ET.Element] = None
+                   ) -> PendingReply:
+        return self.request(nc.build_get_config(source, filter_element))
+
+    def edit_config(self, config: ET.Element, target: str = "running",
+                    default_operation: str = "merge") -> PendingReply:
+        return self.request(nc.build_edit_config(config, target,
+                                                 default_operation))
+
+    def rpc(self, name: str, namespace: str,
+            params: Optional[Dict[str, str]] = None) -> PendingReply:
+        """Invoke a custom RPC with simple leaf parameters."""
+        operation = ET.Element(nc.qn(name, namespace))
+        for key, value in (params or {}).items():
+            ET.SubElement(operation, nc.qn(key, namespace)).text = str(value)
+        return self.request(operation)
+
+    def commit(self) -> PendingReply:
+        """candidate -> running."""
+        return self.request(ET.Element(nc.qn("commit")))
+
+    def discard_changes(self) -> PendingReply:
+        return self.request(ET.Element(nc.qn("discard-changes")))
+
+    def lock(self, target: str = "running") -> PendingReply:
+        operation = ET.Element(nc.qn("lock"))
+        target_el = ET.SubElement(operation, nc.qn("target"))
+        ET.SubElement(target_el, nc.qn(target))
+        return self.request(operation)
+
+    def unlock(self, target: str = "running") -> PendingReply:
+        operation = ET.Element(nc.qn("unlock"))
+        target_el = ET.SubElement(operation, nc.qn("target"))
+        ET.SubElement(target_el, nc.qn(target))
+        return self.request(operation)
+
+    def close(self) -> PendingReply:
+        pending = self.request(nc.build_close_session())
+        pending.on_done(lambda _reply: self._mark_closed())
+        return pending
+
+    def _mark_closed(self) -> None:
+        self.closed = True
+
+    def __repr__(self) -> str:
+        return "NetconfClient(session=%s, %d rpcs, %s)" % (
+            self.session_id, self.rpcs_sent,
+            "closed" if self.closed else "open")

@@ -1,0 +1,128 @@
+"""Configuration datastores with edit-config semantics.
+
+A datastore holds an XML tree rooted at ``<data>``.  ``edit-config``
+applies a config fragment with per-node ``operation`` attributes
+(merge / replace / create / delete / remove) on top of the request's
+default operation, per RFC 6241 §7.2.  List entries are identified by
+their key leaves when the schema provides them, else by full equality.
+"""
+
+import copy
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional
+
+from repro.netconf.errors import NetconfError
+from repro.netconf.messages import BASE_NS, local_name, qn
+
+OPERATION_ATTR = qn("operation", BASE_NS)
+
+
+class DatastoreError(NetconfError):
+    pass
+
+
+class Datastore:
+    """One named datastore (running / candidate / startup).
+
+    ``list_keys`` maps an element local-name to the local-name of its
+    key leaf, enabling list-entry matching (e.g. ``{"vnf": "id"}``).
+    """
+
+    def __init__(self, name: str = "running",
+                 list_keys: Optional[Dict[str, str]] = None):
+        self.name = name
+        self.root = ET.Element(qn("data"))
+        self.list_keys = dict(list_keys or {})
+
+    def copy_from(self, other: "Datastore") -> None:
+        """Replace contents with a deep copy of ``other`` (commit)."""
+        self.root = copy.deepcopy(other.root)
+
+    def get(self) -> ET.Element:
+        return copy.deepcopy(self.root)
+
+    def get_subtree(self, filter_element: Optional[ET.Element]
+                    ) -> ET.Element:
+        """Subtree-filtered copy (exact-tag selection, one level)."""
+        if filter_element is None:
+            return self.get()
+        result = ET.Element(qn("data"))
+        for child in self.root:
+            if child.tag == filter_element.tag:
+                result.append(copy.deepcopy(child))
+        return result
+
+    # -- edit-config --------------------------------------------------------
+
+    def edit(self, config: ET.Element,
+             default_operation: str = "merge") -> None:
+        """Apply a ``<config>`` child fragment to this datastore."""
+        if default_operation not in ("merge", "replace", "none"):
+            raise DatastoreError("bad default-operation %r"
+                                 % default_operation)
+        self._merge_children(self.root, [config], default_operation)
+
+    def _merge_children(self, target: ET.Element,
+                        fragments: List[ET.Element],
+                        default_op: str) -> None:
+        for fragment in fragments:
+            operation = fragment.get(OPERATION_ATTR, default_op)
+            existing = self._find_match(target, fragment)
+            if operation in ("delete", "remove"):
+                if existing is None:
+                    if operation == "delete":
+                        raise DatastoreError(
+                            "cannot delete missing node <%s>"
+                            % local_name(fragment.tag))
+                    continue
+                target.remove(existing)
+                continue
+            if operation == "create" and existing is not None:
+                raise DatastoreError("node <%s> already exists"
+                                     % local_name(fragment.tag))
+            if operation == "replace" and existing is not None:
+                target.remove(existing)
+                existing = None
+            if existing is None:
+                clone = copy.deepcopy(fragment)
+                _strip_operation_attrs(clone)
+                target.append(clone)
+                continue
+            # merge: text overrides, children recurse
+            if fragment.text is not None and fragment.text.strip():
+                existing.text = fragment.text
+            child_fragments = list(fragment)
+            if child_fragments:
+                self._merge_children(existing, child_fragments, "merge")
+
+    def _find_match(self, parent: ET.Element,
+                    fragment: ET.Element) -> Optional[ET.Element]:
+        """Locate the existing child ``fragment`` refers to."""
+        name = local_name(fragment.tag)
+        key_leaf = self.list_keys.get(name)
+        for child in parent:
+            if child.tag != fragment.tag:
+                continue
+            if key_leaf is None:
+                return child
+            if self._key_value(child, key_leaf) == \
+                    self._key_value(fragment, key_leaf):
+                return child
+        return None
+
+    @staticmethod
+    def _key_value(element: ET.Element, key_leaf: str) -> Optional[str]:
+        for child in element:
+            if local_name(child.tag) == key_leaf:
+                return (child.text or "").strip()
+        return None
+
+    def __repr__(self) -> str:
+        return "Datastore(%s, %d top-level nodes)" % (self.name,
+                                                      len(self.root))
+
+
+def _strip_operation_attrs(element: ET.Element) -> None:
+    element.attrib.pop(OPERATION_ATTR, None)
+    for child in element:
+        _strip_operation_attrs(child)

@@ -1,0 +1,178 @@
+"""NETCONF XML message construction and parsing (RFC 6241 envelopes)."""
+
+import xml.etree.ElementTree as ET
+from typing import List, Optional, Tuple, Union
+
+from repro.netconf.errors import NetconfError, RpcError
+
+BASE_NS = "urn:ietf:params:xml:ns:netconf:base:1.0"
+CAP_BASE_10 = "urn:ietf:params:netconf:base:1.0"
+CAP_BASE_11 = "urn:ietf:params:netconf:base:1.1"
+CAP_CANDIDATE = "urn:ietf:params:netconf:capability:candidate:1.0"
+
+
+def qn(tag: str, ns: str = BASE_NS) -> str:
+    """Qualified tag name in Clark notation."""
+    return "{%s}%s" % (ns, tag)
+
+
+def local_name(tag: str) -> str:
+    """Strip the namespace from a Clark-notation tag."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def namespace_of(tag: str) -> Optional[str]:
+    if tag.startswith("{"):
+        return tag[1:].split("}", 1)[0]
+    return None
+
+
+def to_xml(element: ET.Element) -> bytes:
+    return ET.tostring(element, encoding="utf-8",
+                       xml_declaration=True)
+
+
+def from_xml(data: Union[bytes, str]) -> ET.Element:
+    try:
+        return ET.fromstring(data)
+    except ET.ParseError as exc:
+        raise NetconfError("malformed XML: %s" % exc)
+
+
+# -- message builders ---------------------------------------------------
+
+
+def build_hello(capabilities: List[str],
+                session_id: Optional[int] = None) -> ET.Element:
+    hello = ET.Element(qn("hello"))
+    caps = ET.SubElement(hello, qn("capabilities"))
+    for capability in capabilities:
+        ET.SubElement(caps, qn("capability")).text = capability
+    if session_id is not None:
+        ET.SubElement(hello, qn("session-id")).text = str(session_id)
+    return hello
+
+
+def build_rpc(message_id: int, operation: ET.Element) -> ET.Element:
+    rpc = ET.Element(qn("rpc"), {"message-id": str(message_id)})
+    rpc.append(operation)
+    return rpc
+
+
+def build_rpc_reply(message_id: int,
+                    body: Optional[List[ET.Element]] = None) -> ET.Element:
+    reply = ET.Element(qn("rpc-reply"), {"message-id": str(message_id)})
+    if body:
+        for element in body:
+            reply.append(element)
+    else:
+        ET.SubElement(reply, qn("ok"))
+    return reply
+
+
+def build_rpc_error(message_id: Optional[int],
+                    error: RpcError) -> ET.Element:
+    attrs = {"message-id": str(message_id)} if message_id is not None else {}
+    reply = ET.Element(qn("rpc-reply"), attrs)
+    err = ET.SubElement(reply, qn("rpc-error"))
+    ET.SubElement(err, qn("error-type")).text = error.error_type
+    ET.SubElement(err, qn("error-tag")).text = error.tag
+    ET.SubElement(err, qn("error-severity")).text = error.severity
+    if error.message:
+        ET.SubElement(err, qn("error-message")).text = error.message
+    if error.info:
+        ET.SubElement(err, qn("error-info")).text = error.info
+    return reply
+
+
+def parse_rpc_error(reply: ET.Element) -> Optional[RpcError]:
+    """Extract an RpcError from an rpc-reply, or None when it is ok."""
+    err = reply.find(qn("rpc-error"))
+    if err is None:
+        return None
+
+    def text(tag: str, default: str = "") -> str:
+        node = err.find(qn(tag))
+        return node.text or default if node is not None else default
+
+    return RpcError(error_type=text("error-type", "application"),
+                    tag=text("error-tag", "operation-failed"),
+                    severity=text("error-severity", "error"),
+                    message=text("error-message"),
+                    info=text("error-info") or None)
+
+
+# -- operation payload builders ------------------------------------------
+
+
+def build_get(filter_element: Optional[ET.Element] = None) -> ET.Element:
+    get = ET.Element(qn("get"))
+    if filter_element is not None:
+        filt = ET.SubElement(get, qn("filter"), {"type": "subtree"})
+        filt.append(filter_element)
+    return get
+
+
+def build_get_config(source: str = "running",
+                     filter_element: Optional[ET.Element] = None
+                     ) -> ET.Element:
+    get_config = ET.Element(qn("get-config"))
+    source_el = ET.SubElement(get_config, qn("source"))
+    ET.SubElement(source_el, qn(source))
+    if filter_element is not None:
+        filt = ET.SubElement(get_config, qn("filter"), {"type": "subtree"})
+        filt.append(filter_element)
+    return get_config
+
+
+def build_edit_config(config: ET.Element, target: str = "running",
+                      default_operation: str = "merge") -> ET.Element:
+    edit = ET.Element(qn("edit-config"))
+    target_el = ET.SubElement(edit, qn("target"))
+    ET.SubElement(target_el, qn(target))
+    ET.SubElement(edit, qn("default-operation")).text = default_operation
+    config_el = ET.SubElement(edit, qn("config"))
+    config_el.append(config)
+    return edit
+
+
+def build_close_session() -> ET.Element:
+    return ET.Element(qn("close-session"))
+
+
+# -- message classification ------------------------------------------------
+
+
+def parse_message(data: Union[bytes, str]) -> Tuple[str, ET.Element]:
+    """Classify an incoming frame: ("hello"|"rpc"|"rpc-reply", root)."""
+    root = from_xml(data)
+    kind = local_name(root.tag)
+    if kind not in ("hello", "rpc", "rpc-reply"):
+        raise NetconfError("unexpected NETCONF message <%s>" % kind)
+    return kind, root
+
+
+def hello_capabilities(hello: ET.Element) -> List[str]:
+    return [cap.text or ""
+            for cap in hello.findall("%s/%s" % (qn("capabilities"),
+                                                qn("capability")))]
+
+
+def hello_session_id(hello: ET.Element) -> Optional[int]:
+    node = hello.find(qn("session-id"))
+    return int(node.text) if node is not None and node.text else None
+
+
+def rpc_message_id(rpc: ET.Element) -> int:
+    value = rpc.get("message-id")
+    if value is None:
+        raise NetconfError("rpc without message-id")
+    return int(value)
+
+
+def rpc_operation(rpc: ET.Element) -> ET.Element:
+    children = list(rpc)
+    if len(children) != 1:
+        raise NetconfError("rpc must contain exactly one operation, got %d"
+                           % len(children))
+    return children[0]

@@ -1,0 +1,125 @@
+"""The VNF-container YANG module.
+
+This is the data model the paper describes: "The operation of the agent
+is described by the YANG data modeling language and implemented by
+low-level instrumentation codes."  RPCs: initiate (start), terminate
+(stop), connect/disconnect VNF ports, plus a state container the
+orchestrator's <get> reads for "real-time management information on
+running VNFs".
+"""
+
+VNF_NS = "urn:escape:params:xml:ns:yang:vnf"
+
+VNF_YANG = """
+module vnf {
+  namespace "urn:escape:params:xml:ns:yang:vnf";
+  prefix "vnf";
+
+  description
+    "Management model for ESCAPE VNF containers: start/stop Click-based
+     VNFs, splice their virtual devices to switch-facing interfaces, and
+     expose per-VNF status and Clicky-style handlers.";
+
+  typedef vnf-status {
+    type enumeration {
+      enum INITIALIZING;
+      enum UP;
+      enum STOPPED;
+      enum FAILED;
+    }
+  }
+
+  container vnfs {
+    description "Operational state of hosted VNFs.";
+    list vnf {
+      key id;
+      leaf id { type string; }
+      leaf status { type vnf-status; }
+      leaf cpu { type decimal64; }
+      leaf mem { type decimal64; }
+      leaf uptime { type decimal64; }
+      list device {
+        key name;
+        leaf name { type string; }
+        leaf interface { type string; }
+      }
+    }
+  }
+
+  container capacity {
+    description "cgroup budget of the container.";
+    leaf cpu-capacity { type decimal64; }
+    leaf cpu-used { type decimal64; }
+    leaf mem-capacity { type decimal64; }
+    leaf mem-used { type decimal64; }
+  }
+
+  rpc startVNF {
+    description "Launch a Click-based VNF in this container.";
+    input {
+      leaf id { type string; mandatory true; }
+      leaf click-config { type string; mandatory true; }
+      leaf devices { type string;
+        description "comma-separated virtual device names"; }
+      leaf cpu { type decimal64; default "0.5"; }
+      leaf mem { type decimal64; default "256"; }
+    }
+    output {
+      leaf status { type vnf-status; }
+    }
+  }
+
+  rpc stopVNF {
+    input {
+      leaf id { type string; mandatory true; }
+    }
+  }
+
+  rpc connectVNF {
+    description "Splice a VNF device to a switch-facing interface.";
+    input {
+      leaf id { type string; mandatory true; }
+      leaf device { type string; mandatory true; }
+      leaf interface { type string; mandatory true; }
+    }
+  }
+
+  rpc disconnectVNF {
+    input {
+      leaf id { type string; mandatory true; }
+      leaf device { type string; mandatory true; }
+    }
+  }
+
+  rpc getVNFInfo {
+    description "Read one Clicky handler of a running VNF.";
+    input {
+      leaf id { type string; mandatory true; }
+      leaf handler { type string; mandatory true; }
+    }
+    output {
+      leaf value { type string; }
+    }
+  }
+
+  rpc listHandlers {
+    description "Enumerate the read handlers of a running VNF.";
+    input {
+      leaf id { type string; mandatory true; }
+    }
+    output {
+      leaf handlers { type string;
+        description "newline-separated element.handler paths"; }
+    }
+  }
+
+  rpc writeVNFHandler {
+    description "Write one handler of a running VNF (reconfigure).";
+    input {
+      leaf id { type string; mandatory true; }
+      leaf handler { type string; mandatory true; }
+      leaf value { type string; mandatory true; }
+    }
+  }
+}
+"""

@@ -1,0 +1,157 @@
+"""Tokenizer and statement-tree parser for YANG (RFC 6020 syntax).
+
+YANG's concrete syntax is uniform: ``keyword [argument] ( ';' | '{'
+statement* '}' )``.  Arguments are unquoted words or (concatenatable)
+quoted strings.  This parser builds the generic statement tree;
+:mod:`repro.netconf.yang.model` interprets it.
+"""
+
+import re
+from typing import List, Optional, Tuple
+
+
+class YangSyntaxError(Exception):
+    pass
+
+
+class Statement:
+    """One YANG statement: keyword, optional argument, substatements."""
+
+    def __init__(self, keyword: str, argument: Optional[str] = None,
+                 children: Optional[List["Statement"]] = None):
+        self.keyword = keyword
+        self.argument = argument
+        self.children = list(children or [])
+
+    def find_all(self, keyword: str) -> List["Statement"]:
+        return [child for child in self.children
+                if child.keyword == keyword]
+
+    def find_one(self, keyword: str) -> Optional["Statement"]:
+        matches = self.find_all(keyword)
+        return matches[0] if matches else None
+
+    def arg_of(self, keyword: str,
+               default: Optional[str] = None) -> Optional[str]:
+        child = self.find_one(keyword)
+        return child.argument if child is not None else default
+
+    def __repr__(self) -> str:
+        return "Statement(%s %r, %d children)" % (self.keyword,
+                                                  self.argument,
+                                                  len(self.children))
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<comment_line>//[^\n]*)
+  | (?P<comment_block>/\*.*?\*/)
+  | (?P<string>"(?:[^"\\]|\\.)*"|'[^']*')
+  | (?P<brace_open>\{)
+  | (?P<brace_close>\})
+  | (?P<semi>;)
+  | (?P<plus>\+)
+  | (?P<word>[^\s{};"']+)
+  | (?P<ws>\s+)
+""", re.VERBOSE | re.DOTALL)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise YangSyntaxError("unexpected character %r at offset %d"
+                                  % (text[pos], pos))
+        kind = match.lastgroup
+        if kind not in ("ws", "comment_line", "comment_block"):
+            tokens.append((kind, match.group()))
+        pos = match.end()
+    return tokens
+
+
+def _unquote(token: str) -> str:
+    if token.startswith('"'):
+        body = token[1:-1]
+        return re.sub(r"\\(.)",
+                      lambda m: {"n": "\n", "t": "\t"}.get(m.group(1),
+                                                           m.group(1)),
+                      body)
+    if token.startswith("'"):
+        return token[1:-1]
+    return token
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise YangSyntaxError("unexpected end of module")
+        self.pos += 1
+        return token
+
+    def parse_statements(self) -> List[Statement]:
+        statements = []
+        while True:
+            token = self.peek()
+            if token is None or token[0] == "brace_close":
+                return statements
+            statements.append(self.parse_statement())
+
+    def parse_statement(self) -> Statement:
+        kind, keyword = self.next()
+        if kind not in ("word",):
+            raise YangSyntaxError("expected keyword, got %r" % keyword)
+        argument = self._parse_argument()
+        kind, token = self.next()
+        if kind == "semi":
+            return Statement(keyword, argument)
+        if kind == "brace_open":
+            children = self.parse_statements()
+            kind, token = self.next()
+            if kind != "brace_close":
+                raise YangSyntaxError("expected '}', got %r" % token)
+            return Statement(keyword, argument, children)
+        raise YangSyntaxError("expected ';' or '{' after %s, got %r"
+                              % (keyword, token))
+
+    def _parse_argument(self) -> Optional[str]:
+        token = self.peek()
+        if token is None or token[0] in ("semi", "brace_open"):
+            return None
+        kind, text = self.next()
+        if kind == "word":
+            return text
+        if kind == "string":
+            parts = [_unquote(text)]
+            while self.peek() is not None and self.peek()[0] == "plus":
+                self.next()
+                kind2, text2 = self.next()
+                if kind2 != "string":
+                    raise YangSyntaxError("expected string after '+'")
+                parts.append(_unquote(text2))
+            return "".join(parts)
+        raise YangSyntaxError("expected argument, got %r" % text)
+
+
+def parse_yang(text: str) -> Statement:
+    """Parse YANG module text; returns the single top-level statement."""
+    parser = _Parser(_tokenize(text))
+    statements = parser.parse_statements()
+    if parser.peek() is not None:
+        raise YangSyntaxError("trailing tokens after module")
+    if len(statements) != 1:
+        raise YangSyntaxError("expected exactly one top-level statement, "
+                              "got %d" % len(statements))
+    root = statements[0]
+    if root.keyword not in ("module", "submodule"):
+        raise YangSyntaxError("top-level statement must be module, got %s"
+                              % root.keyword)
+    return root

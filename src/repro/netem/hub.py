@@ -1,0 +1,24 @@
+"""A dumb repeater hub.
+
+The dedicated control network doesn't need OpenFlow (that would be a
+bootstrap circularity: the controller managing the network its own
+control traffic rides on).  ESCAPE's in-band management plane hangs
+every agent off a plain hub instead.
+"""
+
+from repro.netem.interface import Interface
+from repro.netem.node import Node
+
+
+class Hub(Node):
+    """Repeats every received frame out of all other interfaces."""
+
+    def __init__(self, name, sim):
+        super().__init__(name, sim)
+        self.frames_repeated = 0
+
+    def _receive(self, intf: Interface, data: bytes) -> None:
+        for other in self.interfaces.values():
+            if other is not intf:
+                self.frames_repeated += 1
+                other.send(data)

@@ -1,0 +1,54 @@
+"""Network interfaces (the veth endpoints of the emulation)."""
+
+from typing import Callable, Optional
+
+from repro.packet import EthAddr, IPAddr
+
+
+class Interface:
+    """One attachment point of a node.
+
+    Frames leave through :meth:`send` (which hands them to the attached
+    link) and arrive through :meth:`deliver` (which hands them to the
+    owning node's receive hook).
+    """
+
+    def __init__(self, name: str, node, mac: EthAddr,
+                 ip: Optional[IPAddr] = None, prefix_len: int = 8):
+        self.name = name
+        self.node = node
+        self.mac = EthAddr(mac)
+        self.ip = IPAddr(ip) if ip is not None else None
+        self.prefix_len = prefix_len
+        self.link = None  # set when a Link attaches
+        self._receiver: Optional[Callable[["Interface", bytes], None]] = None
+        self.rx_packets = 0
+        self.tx_packets = 0
+        self.rx_bytes = 0
+        self.tx_bytes = 0
+
+    def set_receiver(self,
+                     callback: Callable[["Interface", bytes], None]) -> None:
+        self._receiver = callback
+
+    def send(self, data: bytes) -> None:
+        """Transmit a frame onto the attached link (no-op if detached)."""
+        self.tx_packets += 1
+        self.tx_bytes += len(data)
+        if self.link is not None:
+            self.link.transmit(self, data)
+
+    def deliver(self, data: bytes) -> None:
+        """A frame arrived from the link for this interface."""
+        self.rx_packets += 1
+        self.rx_bytes += len(data)
+        if self._receiver is not None:
+            self._receiver(self, data)
+
+    @property
+    def connected(self) -> bool:
+        return self.link is not None
+
+    def __repr__(self) -> str:
+        ip_text = "%s/%d" % (self.ip, self.prefix_len) if self.ip else "-"
+        return "Interface(%s, %s, %s)" % (self.name, self.mac, ip_text)

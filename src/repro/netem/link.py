@@ -1,0 +1,115 @@
+"""Shaped point-to-point links (Mininet's TCLink equivalent).
+
+Each direction models: serialization at ``bandwidth`` bits/s, a
+transmit queue bounded by ``max_queue`` packets, fixed propagation
+``delay``, and Bernoulli ``loss``.  The RNG is seeded from the link name
+so packet-loss experiments replay identically.
+"""
+
+import random
+from typing import Optional
+
+from repro.netem.interface import Interface
+from repro.sim import Simulator
+
+
+class _Direction:
+    """Shaping state for one direction of the link."""
+
+    __slots__ = ("busy_until", "queued_packets")
+
+    def __init__(self):
+        self.busy_until = 0.0
+        self.queued_packets = 0
+
+
+class Link:
+    """Bidirectional link between two interfaces.
+
+    ``bandwidth`` is in bits/second (None = infinite), ``delay`` in
+    seconds, ``loss`` a probability in [0, 1], ``max_queue`` in packets
+    (applies only when bandwidth is finite, like a real tx queue).
+    """
+
+    def __init__(self, sim: Simulator, intf1: Interface, intf2: Interface,
+                 bandwidth: Optional[float] = None, delay: float = 0.0,
+                 loss: float = 0.0, max_queue: int = 1000,
+                 jitter: float = 0.0, name: str = ""):
+        if loss < 0.0 or loss > 1.0:
+            raise ValueError("loss must be in [0,1], got %r" % loss)
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError("bandwidth must be positive, got %r" % bandwidth)
+        if delay < 0:
+            raise ValueError("delay must be non-negative, got %r" % delay)
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative, got %r" % jitter)
+        self.sim = sim
+        self.intf1 = intf1
+        self.intf2 = intf2
+        self.bandwidth = bandwidth
+        self.delay = delay
+        # uniform extra delay in [0, jitter] per frame; like netem's
+        # jitter this can reorder back-to-back frames
+        self.jitter = jitter
+        self.loss = loss
+        self.max_queue = max_queue
+        self.name = name or "%s<->%s" % (intf1.name, intf2.name)
+        self.up = True
+        self._rng = random.Random(hash(self.name) & 0xFFFFFFFF)
+        self._dir1 = _Direction()  # intf1 -> intf2
+        self._dir2 = _Direction()  # intf2 -> intf1
+        self.dropped = 0
+        self.delivered = 0
+        intf1.link = self
+        intf2.link = self
+
+    def other_end(self, intf: Interface) -> Interface:
+        if intf is self.intf1:
+            return self.intf2
+        if intf is self.intf2:
+            return self.intf1
+        raise ValueError("interface %r not on link %r" % (intf.name,
+                                                          self.name))
+
+    def set_up(self, up: bool) -> None:
+        self.up = up
+
+    def transmit(self, from_intf: Interface, data: bytes) -> None:
+        """Queue a frame for delivery to the other end."""
+        if not self.up:
+            self.dropped += 1
+            return
+        if self.loss > 0 and self._rng.random() < self.loss:
+            self.dropped += 1
+            return
+        direction = self._dir1 if from_intf is self.intf1 else self._dir2
+        target = self.other_end(from_intf)
+        now = self.sim.now
+        if self.bandwidth is None:
+            depart = now
+        else:
+            if direction.queued_packets >= self.max_queue:
+                self.dropped += 1
+                return
+            serialization = len(data) * 8.0 / self.bandwidth
+            depart = max(now, direction.busy_until) + serialization
+            direction.busy_until = depart
+            direction.queued_packets += 1
+        extra = self._rng.uniform(0.0, self.jitter) if self.jitter else 0.0
+        self.sim.schedule(depart - now + self.delay + extra,
+                          self._deliver, direction, target, data)
+
+    def _deliver(self, direction: _Direction, target: Interface,
+                 data: bytes) -> None:
+        if self.bandwidth is not None:
+            direction.queued_packets -= 1
+        if not self.up:
+            self.dropped += 1
+            return
+        self.delivered += 1
+        target.deliver(data)
+
+    def __repr__(self) -> str:
+        bw = ("%.0fbit/s" % self.bandwidth) if self.bandwidth else "inf"
+        return "Link(%s, bw=%s, delay=%.6fs, loss=%.3f)" % (
+            self.name, bw, self.delay, self.loss)

@@ -1,0 +1,119 @@
+"""Declarative topology descriptions (Mininet's ``Topo`` API).
+
+A ``Topo`` is a pure description — node names, roles, options, links —
+that :meth:`repro.netem.net.Network.build` turns into a live emulation.
+This is also the format the GUI replacement (``repro.core.sgfile``)
+loads topologies into.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+
+class Topo:
+    """A topology description: nodes with roles and attributed links."""
+
+    HOST = "host"
+    SWITCH = "switch"
+    VNF_CONTAINER = "vnf_container"
+
+    def __init__(self):
+        self.nodes: Dict[str, Tuple[str, dict]] = {}
+        self.links: List[Tuple[str, str, dict]] = []
+
+    def _add_node(self, name: str, role: str, opts: dict) -> str:
+        if name in self.nodes:
+            raise ValueError("node %r already in topology" % name)
+        self.nodes[name] = (role, opts)
+        return name
+
+    def add_host(self, name: str, ip: Optional[str] = None,
+                 **opts) -> str:
+        if ip is not None:
+            opts["ip"] = ip
+        return self._add_node(name, self.HOST, opts)
+
+    def add_switch(self, name: str, **opts) -> str:
+        return self._add_node(name, self.SWITCH, opts)
+
+    def add_vnf_container(self, name: str, cpu: float = 4.0,
+                          mem: float = 4096.0, **opts) -> str:
+        opts.update(cpu=cpu, mem=mem)
+        return self._add_node(name, self.VNF_CONTAINER, opts)
+
+    def add_link(self, node1: str, node2: str,
+                 bandwidth: Optional[float] = None, delay: float = 0.0,
+                 loss: float = 0.0, **opts) -> None:
+        for name in (node1, node2):
+            if name not in self.nodes:
+                raise ValueError("link references unknown node %r" % name)
+        opts.update(bandwidth=bandwidth, delay=delay, loss=loss)
+        self.links.append((node1, node2, opts))
+
+    def hosts(self) -> List[str]:
+        return [name for name, (role, _o) in self.nodes.items()
+                if role == self.HOST]
+
+    def switches(self) -> List[str]:
+        return [name for name, (role, _o) in self.nodes.items()
+                if role == self.SWITCH]
+
+    def vnf_containers(self) -> List[str]:
+        return [name for name, (role, _o) in self.nodes.items()
+                if role == self.VNF_CONTAINER]
+
+    def __repr__(self) -> str:
+        return "%s(%d nodes, %d links)" % (type(self).__name__,
+                                           len(self.nodes), len(self.links))
+
+
+class SingleSwitchTopo(Topo):
+    """``k`` hosts hanging off one switch."""
+
+    def __init__(self, k: int = 2, **link_opts):
+        super().__init__()
+        switch = self.add_switch("s1")
+        for index in range(1, k + 1):
+            host = self.add_host("h%d" % index)
+            self.add_link(host, switch, **link_opts)
+
+
+class LinearTopo(Topo):
+    """``k`` switches in a row, ``n`` hosts per switch."""
+
+    def __init__(self, k: int = 2, n: int = 1, **link_opts):
+        super().__init__()
+        previous = None
+        for s_index in range(1, k + 1):
+            switch = self.add_switch("s%d" % s_index)
+            if previous is not None:
+                self.add_link(previous, switch, **link_opts)
+            for h_index in range(1, n + 1):
+                if n == 1:
+                    host = self.add_host("h%d" % s_index)
+                else:
+                    host = self.add_host("h%ds%d" % (h_index, s_index))
+                self.add_link(host, switch, **link_opts)
+            previous = switch
+
+
+class TreeTopo(Topo):
+    """Complete tree of switches, ``depth`` levels, ``fanout`` children;
+    hosts at the leaves."""
+
+    def __init__(self, depth: int = 2, fanout: int = 2, **link_opts):
+        super().__init__()
+        self._switch_count = 0
+        self._host_count = 0
+        self._link_opts = link_opts
+        self._build(depth, fanout)
+
+    def _build(self, depth: int, fanout: int) -> str:
+        if depth == 0:
+            self._host_count += 1
+            return self.add_host("h%d" % self._host_count)
+        self._switch_count += 1
+        switch = self.add_switch("s%d" % self._switch_count)
+        for _ in range(fanout):
+            child = self._build(depth - 1, fanout)
+            self.add_link(switch, child, **self._link_opts)
+        return switch

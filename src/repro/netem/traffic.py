@@ -1,0 +1,139 @@
+"""Traffic measurement objects: ping results, UDP flow reports, and a
+tcpdump-style capture (demo step 4's "standard tools")."""
+
+from typing import List, Optional
+
+from repro.packet import Ethernet
+
+
+class PingResult:
+    """Fills in while the simulation runs; read it afterwards."""
+
+    def __init__(self, src: str, dst: str, count: int):
+        self.src = src
+        self.dst = dst
+        self.count = count
+        self.sent = 0
+        self.received = 0
+        self.rtts: List[float] = []
+
+    def record_sent(self) -> None:
+        self.sent += 1
+
+    def record_reply(self, rtt: float) -> None:
+        self.received += 1
+        self.rtts.append(rtt)
+
+    @property
+    def loss_percent(self) -> float:
+        if self.sent == 0:
+            return 0.0
+        return 100.0 * (self.sent - self.received) / self.sent
+
+    @property
+    def min_rtt(self) -> Optional[float]:
+        return min(self.rtts) if self.rtts else None
+
+    @property
+    def avg_rtt(self) -> Optional[float]:
+        return sum(self.rtts) / len(self.rtts) if self.rtts else None
+
+    @property
+    def max_rtt(self) -> Optional[float]:
+        return max(self.rtts) if self.rtts else None
+
+    def summary(self) -> str:
+        lines = ["--- %s -> %s ping statistics ---" % (self.src, self.dst),
+                 "%d packets transmitted, %d received, %.0f%% packet loss"
+                 % (self.sent, self.received, self.loss_percent)]
+        if self.rtts:
+            lines.append("rtt min/avg/max = %.3f/%.3f/%.3f ms"
+                         % (self.min_rtt * 1e3, self.avg_rtt * 1e3,
+                            self.max_rtt * 1e3))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "PingResult(%s->%s, %d/%d)" % (self.src, self.dst,
+                                              self.received, self.sent)
+
+
+class TrafficReport:
+    """Sender-side record of a constant-rate UDP flow."""
+
+    def __init__(self, src: str, dst: str, dport: int, rate_pps: float,
+                 payload_size: int):
+        self.src = src
+        self.dst = dst
+        self.dport = dport
+        self.rate_pps = rate_pps
+        self.payload_size = payload_size
+        self.sent = 0
+        self.finished = False
+
+    def __repr__(self) -> str:
+        return "TrafficReport(%s->%s:%d, sent=%d, %s)" % (
+            self.src, self.dst, self.dport, self.sent,
+            "done" if self.finished else "running")
+
+
+class CapturedFrame:
+    """One line of the capture."""
+
+    def __init__(self, time: float, direction: str, frame: Ethernet):
+        self.time = time
+        self.direction = direction  # "rx" or "tx"
+        self.frame = frame
+
+    def __repr__(self) -> str:
+        return "%.6f %s %r" % (self.time, self.direction, self.frame)
+
+
+class PacketCapture:
+    """tcpdump stand-in: attach to a Host to record its frames.
+
+    ``filter_fn`` (Ethernet -> bool) limits what is kept; ``limit``
+    bounds memory.
+    """
+
+    def __init__(self, filter_fn=None, limit: int = 10000):
+        self.filter_fn = filter_fn
+        self.limit = limit
+        self.frames: List[CapturedFrame] = []
+        self.matched = 0
+        self.observed = 0
+
+    def observe(self, time: float, direction: str, frame: Ethernet) -> None:
+        self.observed += 1
+        if self.filter_fn is not None and not self.filter_fn(frame):
+            return
+        self.matched += 1
+        if len(self.frames) < self.limit:
+            self.frames.append(CapturedFrame(time, direction, frame))
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def dump(self) -> str:
+        return "\n".join(repr(entry) for entry in self.frames)
+
+    def write_pcap(self, path: str, snaplen: int = 65535) -> int:
+        """Write the captured frames as a classic pcap file (linktype
+        Ethernet), loadable in Wireshark/tcpdump.  Returns the number
+        of records written."""
+        import struct
+        with open(path, "wb") as handle:
+            handle.write(struct.pack("!IHHiIII", 0xA1B2C3D4, 2, 4,
+                                     0, 0, snaplen, 1))
+            for entry in self.frames:
+                wire = entry.frame.pack()
+                ts_sec = int(entry.time)
+                ts_usec = int((entry.time - ts_sec) * 1e6)
+                captured = wire[:snaplen]
+                handle.write(struct.pack("!IIII", ts_sec, ts_usec,
+                                         len(captured), len(wire)))
+                handle.write(captured)
+        return len(self.frames)
+
+    def __repr__(self) -> str:
+        return "PacketCapture(%d kept / %d seen)" % (len(self.frames),
+                                                     self.observed)

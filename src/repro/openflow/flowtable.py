@@ -1,0 +1,150 @@
+"""The OF 1.0 flow table: priority lookup, timeouts, statistics."""
+
+from typing import Callable, List, Optional
+
+from repro.openflow.actions import Action
+from repro.openflow.match import Match
+
+
+class FlowEntry:
+    """One installed flow: match + actions + counters + timeouts."""
+
+    def __init__(self, match: Match, actions: List[Action],
+                 priority: int = 0x8000, idle_timeout: float = 0.0,
+                 hard_timeout: float = 0.0, cookie: int = 0,
+                 flags: int = 0, installed_at: float = 0.0):
+        self.match = match
+        self.actions = list(actions)
+        self.priority = priority
+        self.idle_timeout = idle_timeout
+        self.hard_timeout = hard_timeout
+        self.cookie = cookie
+        self.flags = flags
+        self.installed_at = installed_at
+        self.last_used = installed_at
+        self.packet_count = 0
+        self.byte_count = 0
+
+    def note_hit(self, nbytes: int, now: float) -> None:
+        self.packet_count += 1
+        self.byte_count += nbytes
+        self.last_used = now
+
+    def expired(self, now: float) -> Optional[int]:
+        """FlowRemoved reason code if the entry has expired, else None."""
+        from repro.openflow.messages import FlowRemoved
+        if self.hard_timeout > 0 and now - self.installed_at \
+                >= self.hard_timeout:
+            return FlowRemoved.REASON_HARD_TIMEOUT
+        if self.idle_timeout > 0 and now - self.last_used \
+                >= self.idle_timeout:
+            return FlowRemoved.REASON_IDLE_TIMEOUT
+        return None
+
+    def duration(self, now: float) -> float:
+        return now - self.installed_at
+
+    def __repr__(self) -> str:
+        return "FlowEntry(prio=%d, %s, pkts=%d)" % (
+            self.priority, self.match, self.packet_count)
+
+
+class FlowTable:
+    """Priority-ordered flow entries with OF 1.0 add/modify/delete
+    semantics.  The owner supplies ``now`` (simulated seconds) on every
+    call; expiry notifications go through the ``on_removed`` callback.
+    """
+
+    def __init__(self,
+                 on_removed: Optional[Callable[[FlowEntry, int],
+                                               None]] = None):
+        self.entries: List[FlowEntry] = []
+        self.on_removed = on_removed
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- modification -------------------------------------------------------
+
+    def add(self, entry: FlowEntry) -> None:
+        """OFPFC_ADD: replace any entry with identical match+priority."""
+        self.entries = [existing for existing in self.entries
+                        if not (existing.priority == entry.priority
+                                and existing.match == entry.match)]
+        self.entries.append(entry)
+        # highest priority first; stable for equal priorities
+        self.entries.sort(key=lambda flow: -flow.priority)
+
+    def modify(self, match: Match, actions: List[Action],
+               strict: bool = False, priority: int = 0x8000) -> int:
+        """OFPFC_MODIFY[_STRICT]: update actions of matching entries.
+
+        Returns the number of entries updated (0 means the caller should
+        fall back to ADD, per the spec).
+        """
+        updated = 0
+        for entry in self.entries:
+            if strict:
+                if entry.priority == priority and entry.match == match:
+                    entry.actions = list(actions)
+                    updated += 1
+            elif entry.match.is_subset_of(match):
+                entry.actions = list(actions)
+                updated += 1
+        return updated
+
+    def delete(self, match: Match, strict: bool = False,
+               priority: int = 0x8000, now: float = 0.0) -> int:
+        """OFPFC_DELETE[_STRICT].  Returns the number removed."""
+        from repro.openflow.messages import FlowRemoved
+        keep: List[FlowEntry] = []
+        removed: List[FlowEntry] = []
+        for entry in self.entries:
+            if strict:
+                dead = entry.priority == priority and entry.match == match
+            else:
+                dead = entry.match.is_subset_of(match)
+            (removed if dead else keep).append(entry)
+        self.entries = keep
+        for entry in removed:
+            self._notify(entry, FlowRemoved.REASON_DELETE)
+        return len(removed)
+
+    def _notify(self, entry: FlowEntry, reason: int) -> None:
+        if self.on_removed is not None:
+            self.on_removed(entry, reason)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, packet, in_port: int, now: float) -> Optional[FlowEntry]:
+        """Highest-priority matching, non-expired entry (hit counters
+        updated by the caller via :meth:`FlowEntry.note_hit`)."""
+        self.expire(now)
+        concrete = Match.from_packet(packet, in_port)
+        for entry in self.entries:
+            if entry.match.matches(concrete):
+                return entry
+        return None
+
+    def expire(self, now: float) -> int:
+        """Remove timed-out entries, firing on_removed for each."""
+        keep: List[FlowEntry] = []
+        expired_count = 0
+        for entry in self.entries:
+            reason = entry.expired(now)
+            if reason is None:
+                keep.append(entry)
+            else:
+                expired_count += 1
+                self._notify(entry, reason)
+        self.entries = keep
+        return expired_count
+
+    def stats(self, match: Optional[Match] = None,
+              now: float = 0.0) -> List[FlowEntry]:
+        """Entries covered by ``match`` (all when None), post-expiry."""
+        self.expire(now)
+        if match is None:
+            return list(self.entries)
+        return [entry for entry in self.entries
+                if entry.match.is_subset_of(match)]

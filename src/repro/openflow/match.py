@@ -1,0 +1,174 @@
+"""OpenFlow 1.0 12-tuple match with per-field wildcards."""
+
+from typing import Optional, Union
+
+from repro.packet import ARP, EthAddr, Ethernet, IPAddr, IPv4, TCP, UDP, Vlan
+from repro.packet.icmp import ICMP
+
+# Fields of the OF 1.0 match, in spec order.
+MATCH_FIELDS = ("in_port", "dl_src", "dl_dst", "dl_vlan", "dl_type",
+                "nw_tos", "nw_proto", "nw_src", "nw_dst",
+                "tp_src", "tp_dst")
+
+NO_VLAN = 0xFFFF  # OFP_VLAN_NONE
+
+
+class Match:
+    """A match pattern; ``None`` fields are wildcarded.
+
+    ``nw_src``/``nw_dst`` accept either an :class:`IPAddr` (exact) or a
+    ``(IPAddr, prefix_len)`` tuple for CIDR matching, mirroring OF 1.0's
+    nw-address wildcard bits.
+    """
+
+    __slots__ = MATCH_FIELDS
+
+    def __init__(self, in_port: Optional[int] = None,
+                 dl_src: Optional[Union[str, EthAddr]] = None,
+                 dl_dst: Optional[Union[str, EthAddr]] = None,
+                 dl_vlan: Optional[int] = None,
+                 dl_type: Optional[int] = None,
+                 nw_tos: Optional[int] = None,
+                 nw_proto: Optional[int] = None,
+                 nw_src=None, nw_dst=None,
+                 tp_src: Optional[int] = None,
+                 tp_dst: Optional[int] = None):
+        self.in_port = in_port
+        self.dl_src = EthAddr(dl_src) if dl_src is not None else None
+        self.dl_dst = EthAddr(dl_dst) if dl_dst is not None else None
+        self.dl_vlan = dl_vlan
+        self.dl_type = dl_type
+        self.nw_tos = nw_tos
+        self.nw_proto = nw_proto
+        self.nw_src = self._normalize_nw(nw_src)
+        self.nw_dst = self._normalize_nw(nw_dst)
+        self.tp_src = tp_src
+        self.tp_dst = tp_dst
+
+    @staticmethod
+    def _normalize_nw(value):
+        if value is None:
+            return None
+        if isinstance(value, str) and "/" in value:
+            addr, prefix = value.split("/", 1)
+            value = (IPAddr(addr), int(prefix))
+        if isinstance(value, tuple):
+            addr, prefix = IPAddr(value[0]), int(value[1])
+            if prefix >= 32:
+                return addr   # /32 is an exact match
+            if prefix <= 0:
+                return None   # /0 is a wildcard
+            return (addr, prefix)
+        return IPAddr(value)
+
+    # -- construction from a packet -------------------------------------
+
+    @classmethod
+    def from_packet(cls, packet: Union[Ethernet, bytes],
+                    in_port: Optional[int] = None) -> "Match":
+        """Exact-match fields extracted from ``packet`` (OF 1.0 style)."""
+        if isinstance(packet, (bytes, bytearray)):
+            packet = Ethernet.unpack(bytes(packet))
+        match = cls(in_port=in_port, dl_src=packet.src, dl_dst=packet.dst)
+        vlan = packet.find(Vlan)
+        match.dl_vlan = vlan.vid if vlan is not None else NO_VLAN
+        match.dl_type = packet.effective_type()
+        ip = packet.find(IPv4)
+        arp = packet.find(ARP)
+        if ip is not None:
+            match.nw_tos = ip.tos
+            match.nw_proto = ip.protocol
+            match.nw_src = ip.srcip
+            match.nw_dst = ip.dstip
+            l4 = ip.find(TCP) or ip.find(UDP)
+            if l4 is not None:
+                match.tp_src = l4.srcport
+                match.tp_dst = l4.dstport
+            else:
+                icmp = ip.find(ICMP)
+                if icmp is not None:
+                    # OF 1.0 reuses tp_src/tp_dst for ICMP type/code.
+                    match.tp_src = icmp.type
+                    match.tp_dst = icmp.code
+        elif arp is not None:
+            match.nw_proto = arp.opcode
+            match.nw_src = arp.protosrc
+            match.nw_dst = arp.protodst
+        return match
+
+    # -- matching ---------------------------------------------------------
+
+    @staticmethod
+    def _nw_matches(pattern, value: Optional[IPAddr]) -> bool:
+        if pattern is None:
+            return True
+        if value is None:
+            return False
+        if isinstance(pattern, tuple):
+            addr, prefix = pattern
+            return value.in_network(addr, prefix)
+        return value == pattern
+
+    def matches_packet(self, packet: Union[Ethernet, bytes],
+                       in_port: Optional[int] = None) -> bool:
+        """Does this pattern match the concrete packet?"""
+        concrete = Match.from_packet(packet, in_port)
+        return self.matches(concrete)
+
+    def matches(self, concrete: "Match") -> bool:
+        """Does this (possibly wildcarded) pattern cover ``concrete``?
+
+        ``concrete`` is normally an exact match built by
+        :meth:`from_packet`; any field it leaves as None only matches a
+        wildcard in the pattern.
+        """
+        for field in ("in_port", "dl_src", "dl_dst", "dl_vlan", "dl_type",
+                      "nw_tos", "nw_proto", "tp_src", "tp_dst"):
+            pattern_value = getattr(self, field)
+            if pattern_value is None:
+                continue
+            if getattr(concrete, field) != pattern_value:
+                return False
+        if not self._nw_matches(self.nw_src, self._exact_nw(concrete.nw_src)):
+            return False
+        if not self._nw_matches(self.nw_dst, self._exact_nw(concrete.nw_dst)):
+            return False
+        return True
+
+    @staticmethod
+    def _exact_nw(value) -> Optional[IPAddr]:
+        if isinstance(value, tuple):
+            return value[0]
+        return value
+
+    def is_subset_of(self, other: "Match") -> bool:
+        """True when every packet this matches is also matched by
+        ``other`` (used for OFPFC_DELETE semantics)."""
+        for field in MATCH_FIELDS:
+            other_value = getattr(other, field)
+            if other_value is None:
+                continue
+            if getattr(self, field) != other_value:
+                return False
+        return True
+
+    @property
+    def wildcard_count(self) -> int:
+        return sum(1 for field in MATCH_FIELDS
+                   if getattr(self, field) is None)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Match):
+            return NotImplemented
+        return all(getattr(self, field) == getattr(other, field)
+                   for field in MATCH_FIELDS)
+
+    def __hash__(self) -> int:
+        return hash(tuple(str(getattr(self, field))
+                          for field in MATCH_FIELDS))
+
+    def __repr__(self) -> str:
+        set_fields = ", ".join(
+            "%s=%s" % (field, getattr(self, field))
+            for field in MATCH_FIELDS if getattr(self, field) is not None)
+        return "Match(%s)" % (set_fields or "*")

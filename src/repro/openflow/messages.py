@@ -1,0 +1,262 @@
+"""OpenFlow 1.0 protocol messages (as Python objects).
+
+The ESCAPE reproduction's controller channel is in-process, so messages
+stay objects instead of OF wire bytes — the substitution is documented
+in DESIGN.md.  Field names and semantics follow the OF 1.0 spec (and
+POX's ``libopenflow_01``), so controller code reads the same.
+"""
+
+import itertools
+from typing import List, Optional
+
+from repro.openflow.actions import Action
+from repro.openflow.match import Match
+
+_xid_counter = itertools.count(1)
+
+
+def next_xid() -> int:
+    return next(_xid_counter)
+
+
+class Message:
+    """Base OpenFlow message; every message carries a transaction id."""
+
+    def __init__(self, xid: Optional[int] = None):
+        self.xid = xid if xid is not None else next_xid()
+
+    def __repr__(self) -> str:
+        return "%s(xid=%d)" % (type(self).__name__, self.xid)
+
+
+class Hello(Message):
+    pass
+
+
+class EchoRequest(Message):
+    def __init__(self, data: bytes = b"", xid: Optional[int] = None):
+        super().__init__(xid)
+        self.data = data
+
+
+class EchoReply(Message):
+    def __init__(self, data: bytes = b"", xid: Optional[int] = None):
+        super().__init__(xid)
+        self.data = data
+
+
+class FeaturesRequest(Message):
+    pass
+
+
+class PortDescription:
+    """One physical port in a FeaturesReply / PortStatus."""
+
+    def __init__(self, port_no: int, name: str, hw_addr: str,
+                 curr_speed: float = 0.0):
+        self.port_no = port_no
+        self.name = name
+        self.hw_addr = hw_addr
+        self.curr_speed = curr_speed  # bits/s, 0 = unknown
+
+    def __repr__(self) -> str:
+        return "PortDescription(%d, %s)" % (self.port_no, self.name)
+
+
+class FeaturesReply(Message):
+    def __init__(self, dpid: int, ports: List[PortDescription],
+                 n_buffers: int = 256, n_tables: int = 1,
+                 xid: Optional[int] = None):
+        super().__init__(xid)
+        self.dpid = dpid
+        self.ports = list(ports)
+        self.n_buffers = n_buffers
+        self.n_tables = n_tables
+
+    def __repr__(self) -> str:
+        return "FeaturesReply(dpid=%d, %d ports)" % (self.dpid,
+                                                     len(self.ports))
+
+
+class PacketIn(Message):
+    REASON_NO_MATCH = 0
+    REASON_ACTION = 1
+
+    def __init__(self, buffer_id: Optional[int], in_port: int, data: bytes,
+                 reason: int = REASON_NO_MATCH,
+                 total_len: Optional[int] = None,
+                 xid: Optional[int] = None):
+        super().__init__(xid)
+        self.buffer_id = buffer_id
+        self.in_port = in_port
+        self.data = data
+        self.reason = reason
+        self.total_len = total_len if total_len is not None else len(data)
+
+    def __repr__(self) -> str:
+        return "PacketIn(in_port=%d, %d bytes, buffer=%s)" % (
+            self.in_port, self.total_len, self.buffer_id)
+
+
+class PacketOut(Message):
+    def __init__(self, actions: List[Action],
+                 data: Optional[bytes] = None,
+                 buffer_id: Optional[int] = None,
+                 in_port: Optional[int] = None,
+                 xid: Optional[int] = None):
+        super().__init__(xid)
+        if data is None and buffer_id is None:
+            raise ValueError("PacketOut needs data or a buffer_id")
+        self.actions = list(actions)
+        self.data = data
+        self.buffer_id = buffer_id
+        self.in_port = in_port
+
+
+class FlowMod(Message):
+    ADD = 0
+    MODIFY = 1
+    MODIFY_STRICT = 2
+    DELETE = 3
+    DELETE_STRICT = 4
+
+    # flags
+    SEND_FLOW_REM = 1
+
+    def __init__(self, match: Match, actions: Optional[List[Action]] = None,
+                 command: int = ADD, priority: int = 0x8000,
+                 idle_timeout: float = 0.0, hard_timeout: float = 0.0,
+                 cookie: int = 0, flags: int = 0,
+                 buffer_id: Optional[int] = None,
+                 xid: Optional[int] = None):
+        super().__init__(xid)
+        self.match = match
+        self.actions = list(actions or [])
+        self.command = command
+        self.priority = priority
+        self.idle_timeout = idle_timeout
+        self.hard_timeout = hard_timeout
+        self.cookie = cookie
+        self.flags = flags
+        self.buffer_id = buffer_id
+
+    def __repr__(self) -> str:
+        names = {self.ADD: "ADD", self.MODIFY: "MODIFY",
+                 self.MODIFY_STRICT: "MODIFY_STRICT",
+                 self.DELETE: "DELETE", self.DELETE_STRICT: "DELETE_STRICT"}
+        return "FlowMod(%s, prio=%d, %s, %d actions)" % (
+            names.get(self.command, self.command), self.priority,
+            self.match, len(self.actions))
+
+
+class FlowRemoved(Message):
+    REASON_IDLE_TIMEOUT = 0
+    REASON_HARD_TIMEOUT = 1
+    REASON_DELETE = 2
+
+    def __init__(self, match: Match, cookie: int, priority: int,
+                 reason: int, duration: float, packet_count: int,
+                 byte_count: int, xid: Optional[int] = None):
+        super().__init__(xid)
+        self.match = match
+        self.cookie = cookie
+        self.priority = priority
+        self.reason = reason
+        self.duration = duration
+        self.packet_count = packet_count
+        self.byte_count = byte_count
+
+
+class PortStatus(Message):
+    REASON_ADD = 0
+    REASON_DELETE = 1
+    REASON_MODIFY = 2
+
+    def __init__(self, reason: int, desc: PortDescription,
+                 xid: Optional[int] = None):
+        super().__init__(xid)
+        self.reason = reason
+        self.desc = desc
+
+
+class FlowStatsRequest(Message):
+    def __init__(self, match: Optional[Match] = None,
+                 xid: Optional[int] = None):
+        super().__init__(xid)
+        self.match = match or Match()
+
+
+class FlowStats:
+    """Statistics for one flow entry."""
+
+    def __init__(self, match: Match, priority: int, cookie: int,
+                 duration: float, packet_count: int, byte_count: int,
+                 actions: List[Action]):
+        self.match = match
+        self.priority = priority
+        self.cookie = cookie
+        self.duration = duration
+        self.packet_count = packet_count
+        self.byte_count = byte_count
+        self.actions = actions
+
+    def __repr__(self) -> str:
+        return "FlowStats(%s, pkts=%d)" % (self.match, self.packet_count)
+
+
+class FlowStatsReply(Message):
+    def __init__(self, stats: List[FlowStats], xid: Optional[int] = None):
+        super().__init__(xid)
+        self.stats = list(stats)
+
+
+class PortStatsRequest(Message):
+    def __init__(self, port_no: Optional[int] = None,
+                 xid: Optional[int] = None):
+        super().__init__(xid)
+        self.port_no = port_no  # None = all ports
+
+
+class PortStats:
+    def __init__(self, port_no: int, rx_packets: int, tx_packets: int,
+                 rx_bytes: int, tx_bytes: int, rx_dropped: int = 0,
+                 tx_dropped: int = 0):
+        self.port_no = port_no
+        self.rx_packets = rx_packets
+        self.tx_packets = tx_packets
+        self.rx_bytes = rx_bytes
+        self.tx_bytes = tx_bytes
+        self.rx_dropped = rx_dropped
+        self.tx_dropped = tx_dropped
+
+    def __repr__(self) -> str:
+        return "PortStats(%d, rx=%d, tx=%d)" % (self.port_no,
+                                                self.rx_packets,
+                                                self.tx_packets)
+
+
+class PortStatsReply(Message):
+    def __init__(self, stats: List[PortStats], xid: Optional[int] = None):
+        super().__init__(xid)
+        self.stats = list(stats)
+
+
+class BarrierRequest(Message):
+    pass
+
+
+class BarrierReply(Message):
+    pass
+
+
+class ErrorMessage(Message):
+    TYPE_BAD_REQUEST = 1
+    TYPE_BAD_ACTION = 2
+    TYPE_FLOW_MOD_FAILED = 3
+
+    def __init__(self, error_type: int, code: int = 0,
+                 data: bytes = b"", xid: Optional[int] = None):
+        super().__init__(xid)
+        self.error_type = error_type
+        self.code = code
+        self.data = data

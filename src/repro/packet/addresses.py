@@ -1,0 +1,188 @@
+"""Hardware and IPv4 address value types.
+
+Both types are immutable, hashable and accept the usual textual and raw
+representations, mirroring the helpers POX and Mininet provide.
+"""
+
+import re
+import struct
+from typing import Union
+
+_MAC_RE = re.compile(r"^[0-9a-fA-F]{2}([:-][0-9a-fA-F]{2}){5}$")
+
+
+class EthAddr:
+    """A 48-bit Ethernet MAC address."""
+
+    __slots__ = ("_raw",)
+
+    def __init__(self, value: Union[str, bytes, int, "EthAddr"]):
+        if isinstance(value, EthAddr):
+            self._raw = value._raw
+        elif isinstance(value, bytes):
+            if len(value) != 6:
+                raise ValueError("MAC bytes must be length 6, got %d"
+                                 % len(value))
+            self._raw = value
+        elif isinstance(value, int):
+            if not 0 <= value < (1 << 48):
+                raise ValueError("MAC int out of range: %#x" % value)
+            self._raw = value.to_bytes(6, "big")
+        elif isinstance(value, str):
+            if not _MAC_RE.match(value):
+                raise ValueError("malformed MAC address %r" % value)
+            self._raw = bytes(int(part, 16)
+                              for part in re.split("[:-]", value))
+        else:
+            raise TypeError("cannot build EthAddr from %r" % (value,))
+
+    @classmethod
+    def from_int(cls, value: int) -> "EthAddr":
+        return cls(value)
+
+    @property
+    def raw(self) -> bytes:
+        return self._raw
+
+    def to_int(self) -> int:
+        return int.from_bytes(self._raw, "big")
+
+    @property
+    def is_multicast(self) -> bool:
+        """True when the group bit (LSB of the first octet) is set."""
+        return bool(self._raw[0] & 1)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._raw == b"\xff" * 6
+
+    @property
+    def is_local(self) -> bool:
+        """True for locally-administered addresses."""
+        return bool(self._raw[0] & 2)
+
+    def __str__(self) -> str:
+        return ":".join("%02x" % byte for byte in self._raw)
+
+    def __repr__(self) -> str:
+        return "EthAddr('%s')" % self
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (str, bytes, int)):
+            try:
+                other = EthAddr(other)
+            except (ValueError, TypeError):
+                return NotImplemented
+        if isinstance(other, EthAddr):
+            return self._raw == other._raw
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._raw)
+
+    def __lt__(self, other: "EthAddr") -> bool:
+        return self._raw < EthAddr(other)._raw
+
+
+BROADCAST = EthAddr(b"\xff" * 6)
+
+
+def is_multicast(addr: Union[str, bytes, EthAddr]) -> bool:
+    """Convenience wrapper for :attr:`EthAddr.is_multicast`."""
+    return EthAddr(addr).is_multicast
+
+
+class IPAddr:
+    """A 32-bit IPv4 address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[str, bytes, int, "IPAddr"]):
+        if isinstance(value, IPAddr):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value < (1 << 32):
+                raise ValueError("IPv4 int out of range: %#x" % value)
+            self._value = value
+        elif isinstance(value, bytes):
+            if len(value) != 4:
+                raise ValueError("IPv4 bytes must be length 4, got %d"
+                                 % len(value))
+            self._value = struct.unpack("!I", value)[0]
+        elif isinstance(value, str):
+            parts = value.split(".")
+            if len(parts) != 4:
+                raise ValueError("malformed IPv4 address %r" % value)
+            octets = []
+            for part in parts:
+                if not part.isdigit():
+                    raise ValueError("malformed IPv4 address %r" % value)
+                octet = int(part)
+                if octet > 255:
+                    raise ValueError("IPv4 octet out of range in %r" % value)
+                octets.append(octet)
+            self._value = (octets[0] << 24 | octets[1] << 16
+                           | octets[2] << 8 | octets[3])
+        else:
+            raise TypeError("cannot build IPAddr from %r" % (value,))
+
+    @property
+    def raw(self) -> bytes:
+        return struct.pack("!I", self._value)
+
+    def to_int(self) -> int:
+        return self._value
+
+    def in_network(self, network: Union[str, "IPAddr"],
+                   prefix_len: int = None) -> bool:
+        """True when this address falls inside ``network/prefix_len``.
+
+        ``network`` may be given as ``"10.0.0.0/8"`` with ``prefix_len``
+        omitted.
+        """
+        if isinstance(network, str) and "/" in network:
+            network, prefix = network.split("/", 1)
+            prefix_len = int(prefix)
+        if prefix_len is None:
+            raise ValueError("prefix length required")
+        if not 0 <= prefix_len <= 32:
+            raise ValueError("bad prefix length %d" % prefix_len)
+        mask = 0 if prefix_len == 0 else (0xFFFFFFFF << (32 - prefix_len)) \
+            & 0xFFFFFFFF
+        return (self._value & mask) == (IPAddr(network)._value & mask)
+
+    @property
+    def is_multicast(self) -> bool:
+        return self.in_network("224.0.0.0/4")
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._value == 0xFFFFFFFF
+
+    def __str__(self) -> str:
+        return "%d.%d.%d.%d" % (self._value >> 24 & 0xFF,
+                                self._value >> 16 & 0xFF,
+                                self._value >> 8 & 0xFF,
+                                self._value & 0xFF)
+
+    def __repr__(self) -> str:
+        return "IPAddr('%s')" % self
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (str, bytes, int)):
+            try:
+                other = IPAddr(other)
+            except (ValueError, TypeError):
+                return NotImplemented
+        if isinstance(other, IPAddr):
+            return self._value == other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __lt__(self, other: "IPAddr") -> bool:
+        return self._value < IPAddr(other)._value
+
+    def __add__(self, offset: int) -> "IPAddr":
+        return IPAddr((self._value + offset) & 0xFFFFFFFF)

@@ -1,0 +1,58 @@
+"""ARP (RFC 826) for IPv4 over Ethernet."""
+
+import struct
+from typing import Union
+
+from repro.packet.addresses import EthAddr, IPAddr
+from repro.packet.base import Header, PacketError
+
+
+class ARP(Header):
+    """ARP request/reply with Ethernet+IPv4 address sizes."""
+
+    MIN_LEN = 28
+
+    REQUEST = 1
+    REPLY = 2
+
+    HW_TYPE_ETHERNET = 1
+    PROTO_TYPE_IP = 0x0800
+
+    def __init__(self, opcode: int = REQUEST,
+                 hwsrc: Union[str, bytes, EthAddr] = "00:00:00:00:00:00",
+                 hwdst: Union[str, bytes, EthAddr] = "00:00:00:00:00:00",
+                 protosrc: Union[str, int, IPAddr] = "0.0.0.0",
+                 protodst: Union[str, int, IPAddr] = "0.0.0.0"):
+        self.opcode = opcode
+        self.hwsrc = EthAddr(hwsrc)
+        self.hwdst = EthAddr(hwdst)
+        self.protosrc = IPAddr(protosrc)
+        self.protodst = IPAddr(protodst)
+        self.payload = None
+
+    def pack_header(self) -> bytes:
+        return (struct.pack("!HHBBH", self.HW_TYPE_ETHERNET,
+                            self.PROTO_TYPE_IP, 6, 4, self.opcode)
+                + self.hwsrc.raw + self.protosrc.raw
+                + self.hwdst.raw + self.protodst.raw)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ARP":
+        if len(data) < cls.MIN_LEN:
+            raise PacketError("ARP too short: %d bytes" % len(data))
+        hw_type, proto_type, hw_len, proto_len, opcode = \
+            struct.unpack("!HHBBH", data[:8])
+        if hw_type != cls.HW_TYPE_ETHERNET or proto_type != cls.PROTO_TYPE_IP:
+            raise PacketError("unsupported ARP types %#x/%#x"
+                              % (hw_type, proto_type))
+        if hw_len != 6 or proto_len != 4:
+            raise PacketError("unsupported ARP address lengths %d/%d"
+                              % (hw_len, proto_len))
+        return cls(opcode=opcode,
+                   hwsrc=EthAddr(data[8:14]), protosrc=IPAddr(data[14:18]),
+                   hwdst=EthAddr(data[18:24]), protodst=IPAddr(data[24:28]))
+
+    def __repr__(self) -> str:
+        kind = {self.REQUEST: "who-has", self.REPLY: "is-at"}.get(
+            self.opcode, "op=%d" % self.opcode)
+        return "ARP(%s %s tell %s)" % (kind, self.protodst, self.protosrc)

@@ -1,0 +1,105 @@
+"""Ethernet II and 802.1Q VLAN headers."""
+
+import struct
+from typing import Union
+
+from repro.packet.addresses import EthAddr
+from repro.packet.base import Header, PacketError
+
+
+class Ethernet(Header):
+    """Ethernet II frame header (no FCS)."""
+
+    MIN_LEN = 14
+
+    IP_TYPE = 0x0800
+    ARP_TYPE = 0x0806
+    VLAN_TYPE = 0x8100
+    LLDP_TYPE = 0x88CC
+
+    def __init__(self, dst: Union[str, bytes, EthAddr] = "00:00:00:00:00:00",
+                 src: Union[str, bytes, EthAddr] = "00:00:00:00:00:00",
+                 type: int = 0, payload=None):
+        self.dst = EthAddr(dst)
+        self.src = EthAddr(src)
+        self.type = type
+        self.payload = payload
+
+    def pack_header(self) -> bytes:
+        return self.dst.raw + self.src.raw + struct.pack("!H", self.type)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Ethernet":
+        if len(data) < cls.MIN_LEN:
+            raise PacketError("Ethernet frame too short: %d bytes" % len(data))
+        dst = EthAddr(data[0:6])
+        src = EthAddr(data[6:12])
+        ethertype = struct.unpack("!H", data[12:14])[0]
+        frame = cls(dst=dst, src=src, type=ethertype)
+        frame.payload = _parse_ethertype(ethertype, data[14:])
+        return frame
+
+    def effective_type(self) -> int:
+        """EtherType after skipping any VLAN tag."""
+        if self.type == self.VLAN_TYPE and isinstance(self.payload, Vlan):
+            return self.payload.type
+        return self.type
+
+    def __repr__(self) -> str:
+        return "Ethernet(%s > %s, type=%#06x)" % (self.src, self.dst,
+                                                  self.type)
+
+
+class Vlan(Header):
+    """802.1Q tag (pcp/cfi/vid + inner EtherType)."""
+
+    MIN_LEN = 4
+
+    def __init__(self, vid: int = 0, pcp: int = 0, cfi: int = 0,
+                 type: int = 0, payload=None):
+        if not 0 <= vid < 4096:
+            raise ValueError("VLAN id out of range: %d" % vid)
+        self.vid = vid
+        self.pcp = pcp
+        self.cfi = cfi
+        self.type = type
+        self.payload = payload
+
+    def pack_header(self) -> bytes:
+        tci = (self.pcp & 7) << 13 | (self.cfi & 1) << 12 | self.vid
+        return struct.pack("!HH", tci, self.type)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Vlan":
+        if len(data) < cls.MIN_LEN:
+            raise PacketError("VLAN tag too short: %d bytes" % len(data))
+        tci, ethertype = struct.unpack("!HH", data[:4])
+        tag = cls(vid=tci & 0xFFF, pcp=tci >> 13, cfi=(tci >> 12) & 1,
+                  type=ethertype)
+        tag.payload = _parse_ethertype(ethertype, data[4:])
+        return tag
+
+    def __repr__(self) -> str:
+        return "Vlan(vid=%d, pcp=%d, type=%#06x)" % (self.vid, self.pcp,
+                                                     self.type)
+
+
+def _parse_ethertype(ethertype: int, data: bytes):
+    """Dispatch an EtherType payload, falling back to raw bytes."""
+    from repro.packet.arp import ARP
+    from repro.packet.ipv4 import IPv4
+    from repro.packet.lldp import LLDP
+
+    parsers = {
+        Ethernet.IP_TYPE: IPv4.unpack,
+        Ethernet.ARP_TYPE: ARP.unpack,
+        Ethernet.VLAN_TYPE: Vlan.unpack,
+        Ethernet.LLDP_TYPE: LLDP.unpack,
+    }
+    parser = parsers.get(ethertype)
+    if parser is None:
+        return data
+    try:
+        return parser(data)
+    except PacketError:
+        return data

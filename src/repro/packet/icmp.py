@@ -1,0 +1,81 @@
+"""ICMP echo request/reply and unreachable messages."""
+
+import struct
+
+from repro.packet.base import Header, PacketError, checksum
+
+
+class ICMP(Header):
+    """ICMP header with the echo id/seq fields inline.
+
+    For echo request/reply, :attr:`id` and :attr:`seq` carry the
+    identifier and sequence number and :attr:`payload` the echo data.
+    For other types the 4 "rest of header" bytes are exposed through the
+    same two 16-bit fields.
+    """
+
+    MIN_LEN = 8
+
+    TYPE_ECHO_REPLY = 0
+    TYPE_DEST_UNREACHABLE = 3
+    TYPE_ECHO_REQUEST = 8
+    TYPE_TIME_EXCEEDED = 11
+
+    CODE_NET_UNREACHABLE = 0
+    CODE_HOST_UNREACHABLE = 1
+    CODE_PORT_UNREACHABLE = 3
+
+    def __init__(self, type: int = TYPE_ECHO_REQUEST, code: int = 0,
+                 id: int = 0, seq: int = 0, payload=None):
+        self.type = type
+        self.code = code
+        self.id = id
+        self.seq = seq
+        self.payload = payload
+        self.csum = 0
+
+    def pack(self) -> bytes:
+        payload = self.pack_payload()
+        head = struct.pack("!BBHHH", self.type, self.code, 0,
+                           self.id, self.seq)
+        self.csum = checksum(head + payload)
+        return (head[:2] + struct.pack("!H", self.csum) + head[4:]
+                + payload)
+
+    def pack_header(self) -> bytes:
+        return self.pack()[: self.MIN_LEN]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ICMP":
+        if len(data) < cls.MIN_LEN:
+            raise PacketError("ICMP too short: %d bytes" % len(data))
+        msg_type, code, csum, ident, seq = struct.unpack("!BBHHH", data[:8])
+        if checksum(data) != 0:
+            raise PacketError("ICMP checksum mismatch")
+        msg = cls(type=msg_type, code=code, id=ident, seq=seq,
+                  payload=data[8:])
+        msg.csum = csum
+        return msg
+
+    @property
+    def is_echo_request(self) -> bool:
+        return self.type == self.TYPE_ECHO_REQUEST
+
+    @property
+    def is_echo_reply(self) -> bool:
+        return self.type == self.TYPE_ECHO_REPLY
+
+    def make_reply(self) -> "ICMP":
+        """Build the echo reply matching this echo request."""
+        if not self.is_echo_request:
+            raise PacketError("can only reply to an echo request")
+        return ICMP(type=self.TYPE_ECHO_REPLY, code=0, id=self.id,
+                    seq=self.seq, payload=self.payload)
+
+    def __repr__(self) -> str:
+        names = {self.TYPE_ECHO_REPLY: "echo-reply",
+                 self.TYPE_ECHO_REQUEST: "echo-request",
+                 self.TYPE_DEST_UNREACHABLE: "unreachable",
+                 self.TYPE_TIME_EXCEEDED: "time-exceeded"}
+        return "ICMP(%s, id=%d, seq=%d)" % (
+            names.get(self.type, "type=%d" % self.type), self.id, self.seq)

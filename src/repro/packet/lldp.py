@@ -1,0 +1,146 @@
+"""LLDP (802.1AB) — the subset POX's discovery component emits.
+
+A frame is a sequence of TLVs, mandatorily Chassis ID, Port ID, TTL,
+terminated by an End TLV.  The discovery module encodes the switch DPID
+in the chassis TLV and the port number in the port TLV, exactly like
+POX's ``openflow.discovery``.
+"""
+
+import struct
+from typing import List, Optional
+
+from repro.packet.base import Header, PacketError
+
+
+class TLV:
+    """Generic LLDP type-length-value."""
+
+    END = 0
+    CHASSIS_ID = 1
+    PORT_ID = 2
+    TTL = 3
+    SYSTEM_NAME = 5
+
+    def __init__(self, tlv_type: int, value: bytes = b""):
+        if not 0 <= tlv_type < 128:
+            raise ValueError("TLV type out of range: %d" % tlv_type)
+        if len(value) > 511:
+            raise ValueError("TLV value too long: %d bytes" % len(value))
+        self.tlv_type = tlv_type
+        self.value = value
+
+    def pack(self) -> bytes:
+        type_len = (self.tlv_type << 9) | len(self.value)
+        return struct.pack("!H", type_len) + self.value
+
+    @classmethod
+    def unpack_one(cls, data: bytes) -> ("TLV", bytes):
+        if len(data) < 2:
+            raise PacketError("LLDP TLV truncated")
+        type_len = struct.unpack("!H", data[:2])[0]
+        tlv_type = type_len >> 9
+        length = type_len & 0x1FF
+        if len(data) < 2 + length:
+            raise PacketError("LLDP TLV value truncated")
+        return cls(tlv_type, data[2:2 + length]), data[2 + length:]
+
+    def __repr__(self) -> str:
+        return "TLV(type=%d, %d bytes)" % (self.tlv_type, len(self.value))
+
+
+class ChassisTLV(TLV):
+    """Chassis ID TLV carrying a locally-assigned string (the DPID)."""
+
+    SUBTYPE_LOCAL = 7
+
+    def __init__(self, chassis_id: str):
+        super().__init__(TLV.CHASSIS_ID,
+                         bytes([self.SUBTYPE_LOCAL]) + chassis_id.encode())
+
+    @property
+    def chassis_id(self) -> str:
+        return self.value[1:].decode()
+
+
+class PortTLV(TLV):
+    """Port ID TLV carrying a locally-assigned string (the port number)."""
+
+    SUBTYPE_LOCAL = 7
+
+    def __init__(self, port_id: str):
+        super().__init__(TLV.PORT_ID,
+                         bytes([self.SUBTYPE_LOCAL]) + port_id.encode())
+
+    @property
+    def port_id(self) -> str:
+        return self.value[1:].decode()
+
+
+class TTLTLV(TLV):
+    def __init__(self, ttl: int):
+        super().__init__(TLV.TTL, struct.pack("!H", ttl))
+
+    @property
+    def ttl(self) -> int:
+        return struct.unpack("!H", self.value)[0]
+
+
+class LLDP(Header):
+    """An LLDP PDU: a list of TLVs (without the trailing End TLV)."""
+
+    def __init__(self, tlvs: Optional[List[TLV]] = None):
+        self.tlvs = list(tlvs or [])
+        self.payload = None
+
+    def pack_header(self) -> bytes:
+        return b"".join(tlv.pack() for tlv in self.tlvs) + TLV(TLV.END).pack()
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "LLDP":
+        tlvs: List[TLV] = []
+        rest = data
+        while True:
+            tlv, rest = TLV.unpack_one(rest)
+            if tlv.tlv_type == TLV.END:
+                break
+            tlvs.append(tlv)
+        return cls(tlvs)
+
+    def find_tlv(self, tlv_type: int) -> Optional[TLV]:
+        for tlv in self.tlvs:
+            if tlv.tlv_type == tlv_type:
+                return tlv
+        return None
+
+    @property
+    def chassis_id(self) -> Optional[str]:
+        tlv = self.find_tlv(TLV.CHASSIS_ID)
+        return tlv.value[1:].decode() if tlv else None
+
+    @property
+    def port_id(self) -> Optional[str]:
+        tlv = self.find_tlv(TLV.PORT_ID)
+        return tlv.value[1:].decode() if tlv else None
+
+    @classmethod
+    def discovery_frame(cls, dpid: int, port_no: int,
+                        ttl: int = 120) -> "LLDP":
+        """Build the probe POX's discovery module sends out each port."""
+        return cls([ChassisTLV("dpid:%d" % dpid),
+                    PortTLV(str(port_no)),
+                    TTLTLV(ttl)])
+
+    def discovery_origin(self) -> Optional[tuple]:
+        """Decode ``(dpid, port_no)`` from a discovery probe, else None."""
+        chassis, port = self.chassis_id, self.port_id
+        if chassis is None or port is None:
+            return None
+        if not chassis.startswith("dpid:"):
+            return None
+        try:
+            return int(chassis[5:]), int(port)
+        except ValueError:
+            return None
+
+    def __repr__(self) -> str:
+        return "LLDP(%d TLVs)" % len(self.tlvs)

@@ -1,0 +1,76 @@
+"""TCP header (RFC 793), no options.
+
+As with UDP, the checksum skips the pseudo-header so packing stays
+self-contained; this stack uses TCP headers for classification and
+steering, not for a full reliable-stream implementation.
+"""
+
+import struct
+
+from repro.packet.base import Header, PacketError, checksum
+
+
+class TCP(Header):
+    MIN_LEN = 20
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+
+    def __init__(self, srcport: int = 0, dstport: int = 0, seq: int = 0,
+                 ack: int = 0, flags: int = 0, window: int = 65535,
+                 payload=None):
+        for port in (srcport, dstport):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError("TCP port out of range: %d" % port)
+        self.srcport = srcport
+        self.dstport = dstport
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.window = window
+        self.payload = payload
+        self.csum = 0
+
+    def pack(self) -> bytes:
+        payload = self.pack_payload()
+        offset_flags = (5 << 12) | (self.flags & 0x3F)
+        head = struct.pack("!HHIIHHHH", self.srcport, self.dstport,
+                           self.seq & 0xFFFFFFFF, self.ack & 0xFFFFFFFF,
+                           offset_flags, self.window, 0, 0)
+        self.csum = checksum(head + payload)
+        return head[:16] + struct.pack("!H", self.csum) + head[18:] + payload
+
+    def pack_header(self) -> bytes:
+        return self.pack()[: self.MIN_LEN]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TCP":
+        if len(data) < cls.MIN_LEN:
+            raise PacketError("TCP too short: %d bytes" % len(data))
+        (srcport, dstport, seq, ack, offset_flags,
+         window, csum, _urg) = struct.unpack("!HHIIHHHH", data[:20])
+        offset = (offset_flags >> 12) * 4
+        if offset < cls.MIN_LEN or offset > len(data):
+            raise PacketError("bad TCP data offset %d" % offset)
+        segment = cls(srcport=srcport, dstport=dstport, seq=seq, ack=ack,
+                      flags=offset_flags & 0x3F, window=window,
+                      payload=data[offset:])
+        segment.csum = csum
+        return segment
+
+    def flag_names(self) -> str:
+        names = []
+        for bit, name in ((self.SYN, "SYN"), (self.ACK, "ACK"),
+                          (self.FIN, "FIN"), (self.RST, "RST"),
+                          (self.PSH, "PSH"), (self.URG, "URG")):
+            if self.flags & bit:
+                names.append(name)
+        return "|".join(names) or "none"
+
+    def __repr__(self) -> str:
+        return "TCP(%d > %d, %s, seq=%d)" % (self.srcport, self.dstport,
+                                             self.flag_names(), self.seq)

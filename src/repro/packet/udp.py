@@ -1,0 +1,51 @@
+"""UDP header (RFC 768).
+
+The checksum is computed without the IPv4 pseudo-header: packets here
+never cross a real kernel, and omitting it keeps headers self-contained
+(packing does not need to know the enclosing IP addresses).  Parsers
+accept any checksum value for the same reason.
+"""
+
+import struct
+
+from repro.packet.base import Header, PacketError, checksum
+
+
+class UDP(Header):
+    MIN_LEN = 8
+
+    def __init__(self, srcport: int = 0, dstport: int = 0, payload=None):
+        for port in (srcport, dstport):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError("UDP port out of range: %d" % port)
+        self.srcport = srcport
+        self.dstport = dstport
+        self.payload = payload
+        self.csum = 0
+
+    def pack(self) -> bytes:
+        payload = self.pack_payload()
+        length = self.MIN_LEN + len(payload)
+        head = struct.pack("!HHHH", self.srcport, self.dstport, length, 0)
+        self.csum = checksum(head + payload)
+        return head[:6] + struct.pack("!H", self.csum) + payload
+
+    def pack_header(self) -> bytes:
+        return self.pack()[: self.MIN_LEN]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UDP":
+        if len(data) < cls.MIN_LEN:
+            raise PacketError("UDP too short: %d bytes" % len(data))
+        srcport, dstport, length, csum = struct.unpack("!HHHH", data[:8])
+        if length < cls.MIN_LEN or length > len(data):
+            raise PacketError("bad UDP length %d (have %d bytes)"
+                              % (length, len(data)))
+        datagram = cls(srcport=srcport, dstport=dstport,
+                       payload=data[8:length])
+        datagram.csum = csum
+        return datagram
+
+    def __repr__(self) -> str:
+        return "UDP(%d > %d, %d bytes)" % (self.srcport, self.dstport,
+                                           len(self.raw_payload()))

@@ -1,0 +1,126 @@
+"""revent-lite: typed events with listener registration."""
+
+from typing import Callable, Dict, List, Type
+
+
+class Event:
+    """Base event.  Setting ``halt`` in a listener stops propagation."""
+
+    def __init__(self):
+        self.halt = False
+
+
+class EventMixin:
+    """Objects that raise events; listeners subscribe per event class."""
+
+    def __init__(self):
+        self._listeners: Dict[Type[Event], List[Callable]] = {}
+
+    def add_listener(self, event_class: Type[Event],
+                     callback: Callable[[Event], None]) -> Callable:
+        """Subscribe; returns the callback for later removal."""
+        self._listeners.setdefault(event_class, []).append(callback)
+        return callback
+
+    def remove_listener(self, event_class: Type[Event],
+                        callback: Callable) -> None:
+        listeners = self._listeners.get(event_class, [])
+        if callback in listeners:
+            listeners.remove(callback)
+
+    def add_listeners(self, component) -> None:
+        """POX idiom: methods named ``_handle_<EventClass>`` subscribe
+        automatically."""
+        for event_class in _all_event_classes():
+            handler = getattr(component, "_handle_%s" % event_class.__name__,
+                              None)
+            if handler is not None:
+                self.add_listener(event_class, handler)
+
+    def raise_event(self, event: Event) -> Event:
+        for callback in list(self._listeners.get(type(event), [])):
+            callback(event)
+            if event.halt:
+                break
+        return event
+
+
+def _all_event_classes() -> List[Type[Event]]:
+    def walk(cls):
+        classes = [cls]
+        for sub in cls.__subclasses__():
+            classes.extend(walk(sub))
+        return classes
+    return walk(Event)[1:]  # skip the Event base itself
+
+
+# -- OpenFlow-facing events ------------------------------------------------
+
+
+class ConnectionUp(Event):
+    """A switch finished the handshake (FeaturesReply received)."""
+
+    def __init__(self, connection):
+        super().__init__()
+        self.connection = connection
+        self.dpid = connection.dpid
+
+
+class ConnectionDown(Event):
+    def __init__(self, connection):
+        super().__init__()
+        self.connection = connection
+        self.dpid = connection.dpid
+
+
+class PacketInEvent(Event):
+    """Wraps an OF PacketIn with the parsed frame."""
+
+    def __init__(self, connection, packet_in, parsed):
+        super().__init__()
+        self.connection = connection
+        self.dpid = connection.dpid
+        self.ofp = packet_in
+        self.port = packet_in.in_port
+        self.parsed = parsed  # Ethernet or None
+        self.data = packet_in.data
+
+
+class FlowRemovedEvent(Event):
+    def __init__(self, connection, ofp):
+        super().__init__()
+        self.connection = connection
+        self.dpid = connection.dpid
+        self.ofp = ofp
+
+
+class PortStatusEvent(Event):
+    def __init__(self, connection, ofp):
+        super().__init__()
+        self.connection = connection
+        self.dpid = connection.dpid
+        self.ofp = ofp
+
+
+class FlowStatsReceived(Event):
+    def __init__(self, connection, stats):
+        super().__init__()
+        self.connection = connection
+        self.dpid = connection.dpid
+        self.stats = stats
+
+
+class PortStatsReceived(Event):
+    def __init__(self, connection, stats):
+        super().__init__()
+        self.connection = connection
+        self.dpid = connection.dpid
+        self.stats = stats
+
+
+class BarrierIn(Event):
+    def __init__(self, connection, ofp):
+        super().__init__()
+        self.connection = connection
+        self.dpid = connection.dpid
+        self.xid = ofp.xid

@@ -1,0 +1,216 @@
+"""ESCAPE's traffic steering module.
+
+The orchestrator hands this component concrete paths — sequences of
+(switch, in-port, out-port) hops produced by the mapping algorithm —
+and it installs/removes the OpenFlow entries that pin chain traffic to
+those paths.  Two granularities are supported (an ablation the
+benchmarks compare):
+
+* ``exact`` — every hop matches the full flow template plus its in-port,
+* ``vlan``  — the first hop tags the chain's traffic with a dedicated
+  VLAN id, core hops match only (vlan, in-port), the last hop strips the
+  tag: fewer wide entries in the core at the cost of a tag namespace.
+"""
+
+import copy
+from typing import Dict, List, Optional
+
+from repro.openflow import (FlowMod, Match, Output, SetVlan, StripVlan)
+from repro.pox.nexus import OpenFlowNexus
+
+STEERING_PRIORITY = 0x6000  # above l2_learning's 0x1000
+
+MODE_EXACT = "exact"
+MODE_VLAN = "vlan"
+
+
+class SteeringError(Exception):
+    pass
+
+
+class PathHop:
+    """One switch traversal of a steered path."""
+
+    def __init__(self, dpid: int, in_port: int, out_port: int):
+        self.dpid = dpid
+        self.in_port = in_port
+        self.out_port = out_port
+
+    def __repr__(self) -> str:
+        return "PathHop(dpid=%d, %d->%d)" % (self.dpid, self.in_port,
+                                             self.out_port)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, PathHop)
+                and (self.dpid, self.in_port, self.out_port)
+                == (other.dpid, other.in_port, other.out_port))
+
+
+def _clone_match(match: Match, **overrides) -> Match:
+    clone = copy.copy(match)
+    for field, value in overrides.items():
+        setattr(clone, field, value)
+    return clone
+
+
+class _InstalledPath:
+    def __init__(self, path_id: str, hops: List[PathHop],
+                 flow_mods: List[tuple], vlan: Optional[int]):
+        self.path_id = path_id
+        self.hops = hops
+        self.flow_mods = flow_mods  # (dpid, FlowMod) pairs, for removal
+        self.vlan = vlan
+
+
+class TrafficSteering:
+    """Install and tear down chain paths as flow entries."""
+
+    FIRST_VLAN = 100
+
+    def __init__(self, nexus: OpenFlowNexus, mode: str = MODE_EXACT,
+                 priority: int = STEERING_PRIORITY,
+                 idle_timeout: float = 0.0, hard_timeout: float = 0.0,
+                 restore: bool = True):
+        if mode not in (MODE_EXACT, MODE_VLAN):
+            raise SteeringError("unknown steering mode %r" % mode)
+        self.nexus = nexus
+        self.mode = mode
+        self.priority = priority
+        self.idle_timeout = idle_timeout
+        self.hard_timeout = hard_timeout
+        # self-healing: steering entries carry SEND_FLOW_REM, and any
+        # FlowRemoved matching an installed path is re-installed — a
+        # flushed table or an expired entry cannot silently break a
+        # chain.
+        self.restore = restore
+        self.paths: Dict[str, _InstalledPath] = {}
+        self._vlans_in_use: set = set()
+        self.flow_mods_sent = 0
+        self.restorations = 0
+        if restore:
+            from repro.pox.events import FlowRemovedEvent
+            nexus.add_listener(FlowRemovedEvent,
+                               self._handle_flow_removed)
+
+    def _handle_flow_removed(self, event) -> None:
+        if not self.restore:
+            return
+        for installed in self.paths.values():
+            for dpid, flow_mod in installed.flow_mods:
+                if dpid != event.dpid:
+                    continue
+                if flow_mod.priority != event.ofp.priority:
+                    continue
+                if flow_mod.match != event.ofp.match:
+                    continue
+                self.nexus.send(dpid, flow_mod)
+                self.flow_mods_sent += 1
+                self.restorations += 1
+                return
+
+    # -- path installation -------------------------------------------------
+
+    def install_path(self, path_id: str, hops: List[PathHop],
+                     match: Match) -> None:
+        """Install flow entries steering ``match`` traffic along ``hops``.
+
+        ``match`` should not constrain in_port or dl_vlan; the module
+        owns those fields.
+        """
+        if path_id in self.paths:
+            raise SteeringError("path %r already installed" % path_id)
+        if not hops:
+            raise SteeringError("path %r has no hops" % path_id)
+        for hop in hops:
+            if hop.dpid not in self.nexus.connections:
+                raise SteeringError("switch dpid=%d not connected"
+                                    % hop.dpid)
+        if self.mode == MODE_VLAN and len(hops) > 1:
+            vlan = self._allocate_vlan()
+            flow_mods = self._vlan_flow_mods(hops, match, vlan)
+        else:
+            vlan = None
+            flow_mods = self._exact_flow_mods(hops, match)
+        for dpid, flow_mod in flow_mods:
+            self.nexus.send(dpid, flow_mod)
+            self.flow_mods_sent += 1
+        self.paths[path_id] = _InstalledPath(path_id, list(hops),
+                                             flow_mods, vlan)
+
+    @property
+    def _flags(self) -> int:
+        return FlowMod.SEND_FLOW_REM if self.restore else 0
+
+    def _exact_flow_mods(self, hops: List[PathHop],
+                         match: Match) -> List[tuple]:
+        flow_mods = []
+        for hop in hops:
+            hop_match = _clone_match(match, in_port=hop.in_port)
+            flow_mods.append((hop.dpid, FlowMod(
+                hop_match, [Output(hop.out_port)], priority=self.priority,
+                idle_timeout=self.idle_timeout,
+                hard_timeout=self.hard_timeout, flags=self._flags)))
+        return flow_mods
+
+    def _vlan_flow_mods(self, hops: List[PathHop], match: Match,
+                        vlan: int) -> List[tuple]:
+        flow_mods = []
+        first, last = hops[0], hops[-1]
+        # ingress: classify + tag
+        ingress_match = _clone_match(match, in_port=first.in_port)
+        flow_mods.append((first.dpid, FlowMod(
+            ingress_match, [SetVlan(vlan), Output(first.out_port)],
+            priority=self.priority, idle_timeout=self.idle_timeout,
+            hard_timeout=self.hard_timeout, flags=self._flags)))
+        # core: match only the tag + in-port
+        for hop in hops[1:-1]:
+            flow_mods.append((hop.dpid, FlowMod(
+                Match(in_port=hop.in_port, dl_vlan=vlan),
+                [Output(hop.out_port)], priority=self.priority,
+                idle_timeout=self.idle_timeout,
+                hard_timeout=self.hard_timeout, flags=self._flags)))
+        # egress: strip
+        flow_mods.append((last.dpid, FlowMod(
+            Match(in_port=last.in_port, dl_vlan=vlan),
+            [StripVlan(), Output(last.out_port)], priority=self.priority,
+            idle_timeout=self.idle_timeout,
+            hard_timeout=self.hard_timeout, flags=self._flags)))
+        return flow_mods
+
+    def _allocate_vlan(self) -> int:
+        vlan = self.FIRST_VLAN
+        while vlan in self._vlans_in_use:
+            vlan += 1
+            if vlan >= 4096:
+                raise SteeringError("VLAN space exhausted")
+        self._vlans_in_use.add(vlan)
+        return vlan
+
+    # -- removal -----------------------------------------------------------
+
+    def remove_path(self, path_id: str) -> None:
+        installed = self.paths.pop(path_id, None)
+        if installed is None:
+            raise SteeringError("no path %r installed" % path_id)
+        for dpid, flow_mod in installed.flow_mods:
+            if dpid not in self.nexus.connections:
+                continue
+            self.nexus.send(dpid, FlowMod(
+                flow_mod.match, command=FlowMod.DELETE_STRICT,
+                priority=flow_mod.priority))
+            self.flow_mods_sent += 1
+        if installed.vlan is not None:
+            self._vlans_in_use.discard(installed.vlan)
+
+    def installed_paths(self) -> List[str]:
+        return sorted(self.paths)
+
+    def flow_mod_count(self, path_id: str) -> int:
+        installed = self.paths.get(path_id)
+        if installed is None:
+            raise SteeringError("no path %r installed" % path_id)
+        return len(installed.flow_mods)
+
+    def __repr__(self) -> str:
+        return "TrafficSteering(%s, %d paths, %d flow-mods)" % (
+            self.mode, len(self.paths), self.flow_mods_sent)

@@ -1,0 +1,255 @@
+"""Heap-driven discrete-event simulator with generator processes."""
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(Exception):
+    """Raised for illegal simulator operations (e.g. scheduling in
+    the past)."""
+
+
+class Event:
+    """A callback scheduled at a simulated time.
+
+    Events are created through :meth:`Simulator.schedule` and may be
+    cancelled with :meth:`Simulator.cancel` (or :meth:`cancel`) any time
+    before they fire.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when it pops."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return "Event(t=%.9f, %s, %s)" % (self.time, state,
+                                          getattr(self.callback, "__name__",
+                                                  self.callback))
+
+
+class Signal:
+    """One-shot wakeup primitive.
+
+    A :class:`Process` can ``yield`` a signal to suspend until someone
+    calls :meth:`fire`.  The value passed to ``fire`` becomes the result
+    of the ``yield`` expression inside the process.
+    """
+
+    __slots__ = ("sim", "_waiters", "fired", "value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._waiters: list = []
+        self.fired = False
+        self.value: Any = None
+
+    def fire(self, value: Any = None) -> None:
+        """Wake every process waiting on this signal (idempotent)."""
+        if self.fired:
+            return
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim.schedule(0.0, proc._resume, value)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self.fired:
+            self.sim.schedule(0.0, proc._resume, self.value)
+        else:
+            self._waiters.append(proc)
+
+
+class Process:
+    """A generator-based coroutine running in simulated time.
+
+    The generator may yield:
+
+    * a number — sleep that many simulated seconds,
+    * a :class:`Signal` — suspend until it fires,
+    * another :class:`Process` — suspend until that process finishes,
+    * ``None`` — yield the floor (resume on the next event tick).
+
+    When the generator returns, :attr:`done` becomes ``True`` and the
+    completion signal fires with the generator's return value.
+    """
+
+    def __init__(self, sim: "Simulator",
+                 gen: Generator[Any, Any, Any], name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = False
+        self.result: Any = None
+        self.completion = Signal(sim)
+        self._pending_event: Optional[Event] = None
+
+    def start(self) -> "Process":
+        """Schedule the first step of the generator at the current time."""
+        self.sim.schedule(0.0, self._resume, None)
+        return self
+
+    def interrupt(self) -> None:
+        """Stop the process; its generator is closed, completion fires."""
+        if self.done:
+            return
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        self.gen.close()
+        self._finish(None)
+
+    def _finish(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        self.completion.fire(result)
+
+    def _resume(self, value: Any) -> None:
+        if self.done:
+            return
+        self._pending_event = None
+        try:
+            target = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        if target is None:
+            self._pending_event = self.sim.schedule(0.0, self._resume, None)
+        elif isinstance(target, (int, float)):
+            self._pending_event = self.sim.schedule(
+                float(target), self._resume, None)
+        elif isinstance(target, Signal):
+            target._add_waiter(self)
+        elif isinstance(target, Process):
+            target.completion._add_waiter(self)
+        else:
+            raise SimulationError(
+                "process %r yielded unsupported value %r"
+                % (self.name, target))
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "running"
+        return "Process(%s, %s)" % (self.name, state)
+
+
+class Simulator:
+    """Deterministic discrete-event loop with a floating-point clock."""
+
+    def __init__(self):
+        self._heap: list = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self._running = False
+        self._processed = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError("cannot schedule %.9fs in the past" % delay)
+        event = Event(self.now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> Event:
+        """Run ``callback(*args)`` at absolute simulated time ``time``."""
+        return self.schedule(time - self.now, callback, *args)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (no-op if it already fired)."""
+        event.cancel()
+
+    def process(self, gen: Generator[Any, Any, Any],
+                name: str = "") -> Process:
+        """Wrap a generator into a :class:`Process` and start it."""
+        return Process(self, gen, name).start()
+
+    def signal(self) -> Signal:
+        """Create a fresh :class:`Signal` bound to this simulator."""
+        return Signal(self)
+
+    # -- running ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Drain the event heap.
+
+        Runs until the heap empties, the clock would pass ``until``, or
+        ``max_events`` callbacks have executed.  Returns the number of
+        callbacks executed by this call.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                self.now = event.time
+                event.callback(*event.args)
+                executed += 1
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+            self._processed += executed
+        return executed
+
+    def step(self) -> bool:
+        """Execute exactly one pending event; return False when idle."""
+        return self.run(max_events=1) == 1
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None when the heap is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Total callbacks executed over the simulator's lifetime."""
+        return self._processed
+
+    def run_all(self, batches: Iterable[float] = ()) -> int:
+        """Convenience: run to exhaustion (optionally in until= batches)."""
+        total = 0
+        for until in batches:
+            total += self.run(until=until)
+        total += self.run()
+        return total
+
+    def __repr__(self) -> str:
+        return "Simulator(now=%.9f, pending=%d)" % (self.now, self.pending)

@@ -1,0 +1,429 @@
+"""Tests for the VNF building blocks: switches, shapers, NAT, firewall,
+DPI and the device splice."""
+
+import pytest
+
+from repro.click import ClickPacket, ConfigError, Router
+from repro.click.elements.device import Device
+from repro.packet import Ethernet, IPv4, TCP, UDP
+from repro.sim import Simulator
+
+
+def ip_packet(proto_payload=None, srcip="10.0.0.1", dstip="10.0.0.2",
+              protocol=17):
+    return ClickPacket.from_header(Ethernet(
+        src="00:00:00:00:00:01", dst="00:00:00:00:00:02",
+        type=Ethernet.IP_TYPE,
+        payload=IPv4(srcip=srcip, dstip=dstip, protocol=protocol,
+                     payload=proto_payload)))
+
+
+class TestTee:
+    def test_clones_to_all_outputs(self):
+        router = Router.from_config(
+            "Idle -> t :: Tee;"
+            "t[0] -> a :: Counter -> Discard;"
+            "t[1] -> b :: Counter -> Discard;"
+            "t[2] -> c :: Counter -> Discard;")
+        router.start()
+        router.element("t").push(0, ClickPacket(b"x"))
+        for name in "abc":
+            assert router.read_handler("%s.count" % name) == "1"
+
+    def test_clones_are_independent(self):
+        router = Router.from_config(
+            "Idle -> t :: Tee;"
+            "t[0] -> a :: Counter -> Discard;"
+            "t[1] -> b :: Counter -> Discard;")
+        router.start()
+        received = []
+        router.element("a").push = lambda port, pkt: received.append(pkt)
+        original = ClickPacket(b"x")
+        router.element("t").push(0, original)
+        assert received[0] is not original  # clone went to output 0
+
+    def test_declared_count_checked(self):
+        router = Router.from_config(
+            "Idle -> t :: Tee(3);"
+            "t[0] -> d0 :: Discard; t[1] -> d1 :: Discard;")
+        with pytest.raises(ConfigError):
+            router.start()
+
+
+class TestSwitch:
+    def test_default_output(self):
+        router = Router.from_config(
+            "Idle -> s :: Switch;"
+            "s[0] -> a :: Counter -> Discard;"
+            "s[1] -> b :: Counter -> Discard;")
+        router.start()
+        router.element("s").push(0, ClickPacket(b"x"))
+        assert router.read_handler("a.count") == "1"
+
+    def test_retarget_via_handler(self):
+        router = Router.from_config(
+            "Idle -> s :: Switch;"
+            "s[0] -> a :: Counter -> Discard;"
+            "s[1] -> b :: Counter -> Discard;")
+        router.start()
+        router.write_handler("s.switch", "1")
+        router.element("s").push(0, ClickPacket(b"x"))
+        assert router.read_handler("b.count") == "1"
+
+    def test_negative_drops(self):
+        router = Router.from_config(
+            "Idle -> s :: Switch;"
+            "s[0] -> a :: Counter -> Discard;")
+        router.start()
+        router.write_handler("s.switch", "-1")
+        router.element("s").push(0, ClickPacket(b"x"))
+        assert router.read_handler("a.count") == "0"
+
+    def test_out_of_range_write_rejected(self):
+        router = Router.from_config(
+            "Idle -> s :: Switch; s[0] -> Discard;")
+        router.start()
+        with pytest.raises(ConfigError):
+            router.write_handler("s.switch", "5")
+
+
+class TestRoundRobinAndHash:
+    def test_round_robin_rotation(self):
+        router = Router.from_config(
+            "Idle -> rr :: RoundRobinSwitch;"
+            "rr[0] -> a :: Counter -> Discard;"
+            "rr[1] -> b :: Counter -> Discard;")
+        router.start()
+        for _ in range(6):
+            router.element("rr").push(0, ClickPacket(b"x"))
+        assert router.read_handler("a.count") == "3"
+        assert router.read_handler("b.count") == "3"
+
+    def test_hash_switch_flow_affinity(self):
+        router = Router.from_config(
+            "Idle -> h :: HashSwitch(26, 8);"  # IP src+dst region
+            "h[0] -> a :: Counter -> Discard;"
+            "h[1] -> b :: Counter -> Discard;")
+        router.start()
+        element = router.element("h")
+        for _ in range(5):
+            element.push(0, ip_packet(srcip="10.0.0.1"))
+        counts = (int(router.read_handler("a.count")),
+                  int(router.read_handler("b.count")))
+        # same flow -> same output every time
+        assert sorted(counts) == [0, 5]
+
+    def test_hash_switch_spreads_flows(self):
+        router = Router.from_config(
+            "Idle -> h :: HashSwitch(26, 8);"
+            "h[0] -> a :: Counter -> Discard;"
+            "h[1] -> b :: Counter -> Discard;")
+        router.start()
+        element = router.element("h")
+        for index in range(32):
+            element.push(0, ip_packet(srcip="10.0.%d.1" % index))
+        assert int(router.read_handler("a.count")) > 0
+        assert int(router.read_handler("b.count")) > 0
+
+    def test_random_sample_deterministic_per_seed(self):
+        def run_once():
+            router = Router.from_config(
+                "Idle -> r :: RandomSample(0.5, SEED 42)"
+                " -> c :: Counter -> Discard;")
+            router.start()
+            for _ in range(100):
+                router.element("r").push(0, ClickPacket(b"x"))
+            return router.read_handler("c.count")
+        assert run_once() == run_once()
+
+    def test_random_sample_probability_bounds(self):
+        with pytest.raises(ConfigError):
+            Router.from_config("Idle -> RandomSample(1.5) -> Discard;")
+
+
+class TestShapers:
+    def test_shaper_limits_rate(self):
+        router = Router.from_config(
+            "s :: InfiniteSource -> q :: Queue(10000)"
+            " -> sh :: Shaper(50) -> u :: Unqueue"
+            " -> c :: Counter -> Discard;")
+        router.start()
+        router.sim.run(until=2.0)
+        count = int(router.read_handler("c.count"))
+        assert 90 <= count <= 110  # ~50 pps over 2 s
+
+    def test_shaper_runtime_rate_change(self):
+        router = Router.from_config(
+            "s :: InfiniteSource -> Queue(100000) -> sh :: Shaper(10)"
+            " -> Unqueue -> c :: Counter -> Discard;")
+        router.start()
+        router.sim.run(until=1.0)
+        router.write_handler("sh.rate", "1000")
+        before = int(router.read_handler("c.count"))
+        router.sim.run(until=2.0)
+        assert int(router.read_handler("c.count")) - before > 500
+
+    def test_bandwidth_shaper_byte_rate(self):
+        # 100-byte packets at 5000 B/s -> ~50 pps
+        router = Router.from_config(
+            "s :: InfiniteSource(DATA %s) -> Queue(100000)"
+            " -> bw :: BandwidthShaper(5000) -> Unqueue"
+            " -> c :: Counter -> Discard;" % ("x" * 100))
+        router.start()
+        router.sim.run(until=2.0)
+        count = int(router.read_handler("c.count"))
+        assert 80 <= count <= 130
+
+    def test_delay_queue_holds_packets(self):
+        sim = Simulator()
+        router = Router.from_config(
+            "Idle -> dq :: DelayQueue(0.5) -> Unqueue"
+            " -> c :: Counter -> Discard;", sim=sim)
+        router.start()
+        router.element("dq").push(0, ClickPacket(b"x"))
+        sim.run(until=0.4)
+        assert router.read_handler("c.count") == "0"
+        sim.run(until=0.7)
+        assert router.read_handler("c.count") == "1"
+
+    def test_red_drops_early_between_thresholds(self):
+        router = Router.from_config(
+            "Idle -> red :: RED(5, 20, 1.0, 100);"
+            "red -> Unqueue -> Discard;")
+        router.start()
+        red = router.element("red")
+        for _ in range(50):
+            red.push(0, ClickPacket(b"x"))
+        assert int(red.read_handler("early_drops")) > 0
+        assert int(red.read_handler("length")) <= 20
+
+    def test_red_bad_thresholds_rejected(self):
+        with pytest.raises(ConfigError):
+            Router.from_config(
+                "Idle -> RED(20, 5, 0.1) -> Unqueue -> Discard;")
+
+
+class TestIPFilter:
+    def _router(self, rules):
+        router = Router.from_config(
+            "fw :: IPFilter(%s); Idle -> fw;"
+            "fw -> ok :: Counter -> Discard;" % rules)
+        router.start()
+        return router
+
+    def test_allow_rule(self):
+        router = self._router("allow udp")
+        router.element("fw").push(0, ip_packet(UDP(), protocol=17))
+        assert router.read_handler("ok.count") == "1"
+
+    def test_default_deny(self):
+        router = self._router("allow udp")
+        router.element("fw").push(0, ip_packet(TCP(), protocol=6))
+        assert router.read_handler("ok.count") == "0"
+        assert router.read_handler("fw.dropped") == "1"
+
+    def test_first_match_wins(self):
+        router = self._router(
+            "drop src host 10.0.0.66, allow all")
+        fw = router.element("fw")
+        fw.push(0, ip_packet(srcip="10.0.0.66"))
+        fw.push(0, ip_packet(srcip="10.0.0.1"))
+        assert router.read_handler("fw.dropped") == "1"
+        assert router.read_handler("fw.passed") == "1"
+
+    def test_deny_alias(self):
+        router = self._router("deny all")
+        router.element("fw").push(0, ip_packet())
+        assert router.read_handler("fw.dropped") == "1"
+
+    def test_runtime_rule_addition(self):
+        router = self._router("allow all")
+        router.write_handler("fw.add_rule", "drop udp")
+        # the new rule appends after "allow all", so it never fires;
+        # verify via the rules dump instead
+        assert "drop udp" in router.read_handler("fw.rules")
+
+    def test_drop_tap_output(self):
+        router = Router.from_config(
+            "fw :: IPFilter(drop all); Idle -> fw;"
+            "fw[0] -> ok :: Counter -> Discard;"
+            "fw[1] -> tap :: Counter -> Discard;")
+        router.start()
+        router.element("fw").push(0, ip_packet())
+        assert router.read_handler("tap.count") == "1"
+
+    def test_bad_rule_rejected(self):
+        with pytest.raises(ConfigError):
+            self._router("permit all")
+
+    def test_rule_hit_counters(self):
+        router = self._router("allow udp, drop all")
+        fw = router.element("fw")
+        fw.push(0, ip_packet(UDP(), protocol=17))
+        fw.push(0, ip_packet(TCP(), protocol=6))
+        dump = router.read_handler("fw.rules")
+        assert "0 allow udp (hits 1)" in dump
+        assert "1 drop all (hits 1)" in dump
+
+
+class TestIPRewriter:
+    def _router(self):
+        router = Router.from_config(
+            "rw :: IPRewriter(192.168.0.1);"
+            "i0, i1 :: Idle; i0 -> [0]rw; i1 -> [1]rw;"
+            "rw[0] -> out :: Counter -> Discard;"
+            "rw[1] -> back :: Counter -> Discard;")
+        router.start()
+        return router
+
+    def test_outbound_rewrites_source(self):
+        router = self._router()
+        captured = []
+        router.element("out").push = lambda p, pkt: captured.append(pkt)
+        router.element("rw").push(0, ip_packet(
+            UDP(srcport=5555, dstport=53), srcip="10.0.0.5"))
+        ip = captured[0].ip()
+        assert str(ip.srcip) == "192.168.0.1"
+        udp = captured[0].udp()
+        assert udp.srcport >= 10000
+
+    def test_inbound_reverse_mapping(self):
+        router = self._router()
+        outbound = []
+        router.element("out").push = lambda p, pkt: outbound.append(pkt)
+        router.element("rw").push(0, ip_packet(
+            UDP(srcport=5555, dstport=53), srcip="10.0.0.5"))
+        ext_port = outbound[0].udp().srcport
+        inbound = []
+        router.element("back").push = lambda p, pkt: inbound.append(pkt)
+        reply = ip_packet(UDP(srcport=53, dstport=ext_port),
+                          srcip="8.8.8.8", dstip="192.168.0.1")
+        router.element("rw").push(1, reply)
+        ip = inbound[0].ip()
+        assert str(ip.dstip) == "10.0.0.5"
+        assert inbound[0].udp().dstport == 5555
+
+    def test_same_flow_reuses_mapping(self):
+        router = self._router()
+        rw = router.element("rw")
+        for _ in range(3):
+            rw.push(0, ip_packet(UDP(srcport=5555, dstport=53),
+                                 srcip="10.0.0.5"))
+        assert router.read_handler("rw.mappings") == "1"
+
+    def test_distinct_flows_get_distinct_ports(self):
+        router = self._router()
+        rw = router.element("rw")
+        rw.push(0, ip_packet(UDP(srcport=1111, dstport=53),
+                             srcip="10.0.0.5"))
+        rw.push(0, ip_packet(UDP(srcport=2222, dstport=53),
+                             srcip="10.0.0.5"))
+        assert router.read_handler("rw.mappings") == "2"
+
+    def test_unknown_inbound_dropped(self):
+        router = self._router()
+        router.element("rw").push(1, ip_packet(
+            UDP(srcport=53, dstport=44444), dstip="192.168.0.1"))
+        assert router.read_handler("rw.inbound_drops") == "1"
+
+    def test_flush(self):
+        router = self._router()
+        router.element("rw").push(0, ip_packet(UDP(srcport=1, dstport=2)))
+        router.write_handler("rw.flush", "")
+        assert router.read_handler("rw.mappings") == "0"
+
+
+class TestStringMatcher:
+    def _router(self):
+        router = Router.from_config(
+            'dpi :: StringMatcher("EVIL", "WORM"); Idle -> dpi;'
+            "dpi[0] -> evil :: Counter -> Discard;"
+            "dpi[1] -> worm :: Counter -> Discard;"
+            "dpi[2] -> clean :: Counter -> Discard;")
+        router.start()
+        return router
+
+    def test_signature_dispatch(self):
+        router = self._router()
+        dpi = router.element("dpi")
+        dpi.push(0, ip_packet(UDP(payload=b"xxEVILxx")))
+        dpi.push(0, ip_packet(UDP(payload=b"WORM here")))
+        dpi.push(0, ip_packet(UDP(payload=b"benign")))
+        assert router.read_handler("evil.count") == "1"
+        assert router.read_handler("worm.count") == "1"
+        assert router.read_handler("clean.count") == "1"
+
+    def test_first_signature_wins(self):
+        router = self._router()
+        router.element("dpi").push(
+            0, ip_packet(UDP(payload=b"WORM and EVIL")))
+        assert router.read_handler("evil.count") == "1"
+        assert router.read_handler("worm.count") == "0"
+
+    def test_counters_and_reset(self):
+        router = self._router()
+        dpi = router.element("dpi")
+        dpi.push(0, ip_packet(UDP(payload=b"EVIL")))
+        assert router.read_handler("dpi.match0_count") == "1"
+        assert router.read_handler("dpi.total") == "1"
+        router.write_handler("dpi.reset", "")
+        assert router.read_handler("dpi.total") == "0"
+
+
+class TestDeviceSplice:
+    def test_from_device_injects(self):
+        sim = Simulator()
+        router = Router.from_config(
+            "FromDevice(eth0) -> c :: Counter -> Discard;", sim=sim)
+        device = Device("eth0")
+        router.device_map = {"eth0": device}
+        router.start()
+        device.deliver(b"frame-bytes")
+        assert router.read_handler("c.count") == "1"
+        assert device.rx_packets == 1
+
+    def test_to_device_transmits(self):
+        sim = Simulator()
+        router = Router.from_config(
+            "Idle -> t :: ToDevice(eth0);", sim=sim)
+        device = Device("eth0")
+        sent = []
+        device.transmit = sent.append
+        router.device_map = {"eth0": device}
+        router.start()
+        router.element("t").push(0, ClickPacket(b"out-bytes"))
+        assert sent == [b"out-bytes"]
+
+    def test_to_device_pull_mode_drains_queue(self):
+        sim = Simulator()
+        router = Router.from_config(
+            "src :: InfiniteSource(LIMIT 5) -> Queue(10)"
+            " -> ToDevice(eth0);", sim=sim)
+        device = Device("eth0")
+        sent = []
+        device.transmit = sent.append
+        router.device_map = {"eth0": device}
+        router.start()
+        sim.run(until=0.5)
+        assert len(sent) == 5
+
+    def test_missing_device_raises(self):
+        router = Router.from_config(
+            "FromDevice(ghost0) -> Discard;")
+        router.device_map = {}
+        with pytest.raises(ConfigError):
+            router.start()
+
+    def test_roundtrip_through_vnf(self):
+        """Frames entering in0 exit out0 after the pipeline."""
+        sim = Simulator()
+        router = Router.from_config(
+            "FromDevice(in0) -> c :: Counter -> ToDevice(out0);", sim=sim)
+        in_dev, out_dev = Device("in0"), Device("out0")
+        sent = []
+        out_dev.transmit = sent.append
+        router.device_map = {"in0": in_dev, "out0": out_dev}
+        router.start()
+        in_dev.deliver(b"abc")
+        assert sent == [b"abc"]
+        assert router.read_handler("c.count") == "1"

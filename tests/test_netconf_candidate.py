@@ -1,0 +1,123 @@
+"""Tests for the candidate datastore workflow: lock, edit, commit,
+discard (RFC 6241 §8.3/§7.5)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.netconf import (NetconfClient, NetconfServer, RpcError,
+                           TransportPair)
+from repro.netconf import messages as nc
+from repro.sim import Simulator
+
+
+def leaf(tag, text):
+    node = ET.Element(nc.qn(tag, "urn:test"))
+    node.text = text
+    return node
+
+
+@pytest.fixture
+def session():
+    sim = Simulator()
+    pair = TransportPair(sim, latency=0.001)
+    server = NetconfServer(pair.server)
+    client = NetconfClient(pair.client)
+    client.wait_connected()
+    sim.run(until=sim.now + 0.1)
+    return sim, server, client
+
+
+class TestCandidateWorkflow:
+    def test_capability_advertised(self, session):
+        _sim, _server, client = session
+        assert nc.CAP_CANDIDATE in client.server_capabilities
+
+    def test_edit_candidate_leaves_running_untouched(self, session):
+        sim, _server, client = session
+        client.edit_config(leaf("knob", "7"),
+                           target="candidate").result(sim)
+        candidate = client.get_config("candidate").result(sim)
+        running = client.get_config("running").result(sim)
+        assert candidate.find(nc.qn("data")) \
+            .find("{urn:test}knob").text == "7"
+        assert running.find(nc.qn("data")).find("{urn:test}knob") is None
+
+    def test_commit_applies_candidate(self, session):
+        sim, _server, client = session
+        client.edit_config(leaf("knob", "7"),
+                           target="candidate").result(sim)
+        client.commit().result(sim)
+        running = client.get_config("running").result(sim)
+        assert running.find(nc.qn("data")) \
+            .find("{urn:test}knob").text == "7"
+
+    def test_discard_resets_candidate(self, session):
+        sim, _server, client = session
+        client.edit_config(leaf("stable", "1")).result(sim)  # running
+        client.edit_config(leaf("experiment", "x"),
+                           target="candidate").result(sim)
+        client.discard_changes().result(sim)
+        candidate = client.get_config("candidate").result(sim)
+        data = candidate.find(nc.qn("data"))
+        assert data.find("{urn:test}experiment") is None
+        assert data.find("{urn:test}stable").text == "1"
+
+    def test_commit_then_more_edits_then_commit(self, session):
+        sim, _server, client = session
+        client.edit_config(leaf("v", "1"), target="candidate").result(sim)
+        client.commit().result(sim)
+        client.edit_config(leaf("v", "2"), target="candidate").result(sim)
+        client.commit().result(sim)
+        running = client.get_config("running").result(sim)
+        values = running.find(nc.qn("data")).findall("{urn:test}v")
+        assert len(values) == 1
+        assert values[0].text == "2"
+
+    def test_no_candidate_server_rejects_commit(self):
+        sim = Simulator()
+        pair = TransportPair(sim)
+        NetconfServer(pair.server, candidate=False)
+        client = NetconfClient(pair.client)
+        client.wait_connected()
+        with pytest.raises(RpcError) as exc:
+            client.commit().result(sim)
+        assert exc.value.tag == "operation-not-supported"
+
+
+class TestLocking:
+    def test_lock_unlock_cycle(self, session):
+        sim, server, client = session
+        client.lock("running").result(sim)
+        assert server.locks["running"] == server.session_id
+        client.unlock("running").result(sim)
+        assert "running" not in server.locks
+
+    def test_lock_reentrant_for_same_session(self, session):
+        sim, _server, client = session
+        client.lock("running").result(sim)
+        client.lock("running").result(sim)  # no error
+
+    def test_foreign_lock_blocks_edits(self, session):
+        sim, server, client = session
+        server.locks["running"] = 9999  # some other session holds it
+        with pytest.raises(RpcError) as exc:
+            client.edit_config(leaf("x", "1")).result(sim)
+        assert exc.value.tag == "lock-denied"
+
+    def test_foreign_lock_blocks_lock(self, session):
+        sim, server, client = session
+        server.locks["candidate"] = 9999
+        with pytest.raises(RpcError):
+            client.lock("candidate").result(sim)
+
+    def test_lock_unknown_datastore(self, session):
+        sim, _server, client = session
+        with pytest.raises(RpcError):
+            client.lock("startup").result(sim)
+
+    def test_validate_is_accepted(self, session):
+        sim, _server, client = session
+        operation = ET.Element(nc.qn("validate"))
+        reply = client.request(operation).result(sim)
+        assert reply.find(nc.qn("ok")) is not None

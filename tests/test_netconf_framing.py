@@ -1,0 +1,149 @@
+"""Tests for RFC 6242 framing and the in-memory transport."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netconf import (ChunkedFramer, EomFramer, FramingError,
+                           InMemoryTransport, TransportPair)
+from repro.sim import Simulator
+
+
+class TestEomFramer:
+    def test_roundtrip(self):
+        tx, rx = EomFramer(), EomFramer()
+        assert rx.feed(tx.frame(b"<hello/>")) == [b"<hello/>"]
+
+    def test_multiple_messages_one_buffer(self):
+        tx, rx = EomFramer(), EomFramer()
+        data = tx.frame(b"<a/>") + tx.frame(b"<b/>")
+        assert rx.feed(data) == [b"<a/>", b"<b/>"]
+
+    def test_split_delivery(self):
+        tx, rx = EomFramer(), EomFramer()
+        framed = tx.frame(b"<msg/>")
+        messages = []
+        for index in range(len(framed)):
+            messages.extend(rx.feed(framed[index:index + 1]))
+        assert messages == [b"<msg/>"]
+
+    def test_payload_containing_delimiter_rejected(self):
+        with pytest.raises(FramingError):
+            EomFramer().frame(b"bad ]]>]]> payload")
+
+    @given(st.lists(st.binary(min_size=1, max_size=50).filter(
+        lambda b: b"]]>]]>" not in b), min_size=1, max_size=10))
+    def test_roundtrip_property(self, payloads):
+        tx, rx = EomFramer(), EomFramer()
+        stream = b"".join(tx.frame(payload) for payload in payloads)
+        assert rx.feed(stream) == payloads
+
+
+class TestChunkedFramer:
+    def test_roundtrip(self):
+        tx, rx = ChunkedFramer(), ChunkedFramer()
+        assert rx.feed(tx.frame(b"<rpc/>")) == [b"<rpc/>"]
+
+    def test_wire_format(self):
+        assert ChunkedFramer().frame(b"hello") == b"\n#5\nhello\n##\n"
+
+    def test_split_delivery_byte_by_byte(self):
+        tx, rx = ChunkedFramer(), ChunkedFramer()
+        framed = tx.frame(b"<message-with-content/>")
+        messages = []
+        for index in range(len(framed)):
+            messages.extend(rx.feed(framed[index:index + 1]))
+        assert messages == [b"<message-with-content/>"]
+
+    def test_multiple_chunks_one_message(self):
+        rx = ChunkedFramer()
+        wire = b"\n#3\nabc\n#3\ndef\n##\n"
+        assert rx.feed(wire) == [b"abcdef"]
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(FramingError):
+            ChunkedFramer().frame(b"")
+
+    def test_malformed_header_rejected(self):
+        rx = ChunkedFramer()
+        with pytest.raises(FramingError):
+            rx.feed(b"this is not chunked framing!")
+
+    def test_payload_with_hash_newlines_survives(self):
+        tx, rx = ChunkedFramer(), ChunkedFramer()
+        tricky = b"data\n#7\nmore\n##\ndata"
+        assert rx.feed(tx.frame(tricky)) == [tricky]
+
+    @given(st.lists(st.binary(min_size=1, max_size=80), min_size=1,
+                    max_size=8))
+    def test_roundtrip_property(self, payloads):
+        tx, rx = ChunkedFramer(), ChunkedFramer()
+        stream = b"".join(tx.frame(payload) for payload in payloads)
+        assert rx.feed(stream) == payloads
+
+
+class TestTransport:
+    def test_pair_delivers_both_ways(self):
+        sim = Simulator()
+        pair = TransportPair(sim, latency=0.01)
+        got_server, got_client = [], []
+        pair.server.set_receiver(got_server.append)
+        pair.client.set_receiver(got_client.append)
+        pair.client.send(b"to-server")
+        pair.server.send(b"to-client")
+        sim.run()
+        assert got_server == [b"to-server"]
+        assert got_client == [b"to-client"]
+
+    def test_latency_applied(self):
+        sim = Simulator()
+        pair = TransportPair(sim, latency=0.5)
+        times = []
+        pair.server.set_receiver(lambda data: times.append(sim.now))
+        pair.client.send(b"x")
+        sim.run()
+        assert times == [pytest.approx(0.5)]
+
+    def test_byte_rate_serialization(self):
+        sim = Simulator()
+        pair = TransportPair(sim, latency=0.0, byte_rate=100.0)
+        times = []
+        pair.server.set_receiver(lambda data: times.append(sim.now))
+        pair.client.send(b"\x00" * 50)   # 0.5 s
+        pair.client.send(b"\x00" * 50)   # queues behind: 1.0 s
+        sim.run()
+        assert times == [pytest.approx(0.5), pytest.approx(1.0)]
+
+    def test_closed_transport_drops(self):
+        sim = Simulator()
+        pair = TransportPair(sim)
+        got = []
+        pair.server.set_receiver(got.append)
+        pair.client.close()
+        pair.client.send(b"late")
+        sim.run()
+        assert got == []
+
+    def test_close_propagates_to_peer(self):
+        sim = Simulator()
+        pair = TransportPair(sim, latency=0.01)
+        pair.client.close()
+        sim.run()
+        assert pair.server.closed
+
+    def test_on_close_hook(self):
+        sim = Simulator()
+        pair = TransportPair(sim)
+        fired = []
+        pair.client.on_close = lambda: fired.append(True)
+        pair.client.close()
+        assert fired == [True]
+
+    def test_ordering_preserved(self):
+        sim = Simulator()
+        pair = TransportPair(sim, latency=0.02)
+        got = []
+        pair.server.set_receiver(got.append)
+        for index in range(5):
+            pair.client.send(b"%d" % index)
+        sim.run()
+        assert got == [b"0", b"1", b"2", b"3", b"4"]

@@ -1,0 +1,311 @@
+"""Tests for NETCONF messages, datastores, server/client sessions."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.netconf import (Datastore, DatastoreError, NetconfClient,
+                           NetconfServer, RpcError, SessionError,
+                           TransportPair)
+from repro.netconf import messages as nc
+from repro.sim import Simulator
+
+
+def element(tag, text=None, ns="urn:test", children=()):
+    node = ET.Element(nc.qn(tag, ns))
+    if text is not None:
+        node.text = text
+    for child in children:
+        node.append(child)
+    return node
+
+
+class TestMessages:
+    def test_hello_roundtrip(self):
+        hello = nc.build_hello(["cap-a", "cap-b"], session_id=7)
+        kind, root = nc.parse_message(nc.to_xml(hello))
+        assert kind == "hello"
+        assert nc.hello_capabilities(root) == ["cap-a", "cap-b"]
+        assert nc.hello_session_id(root) == 7
+
+    def test_rpc_wrapping(self):
+        rpc = nc.build_rpc(42, element("my-op"))
+        kind, root = nc.parse_message(nc.to_xml(rpc))
+        assert kind == "rpc"
+        assert nc.rpc_message_id(root) == 42
+        assert nc.local_name(nc.rpc_operation(root).tag) == "my-op"
+
+    def test_rpc_reply_ok(self):
+        reply = nc.build_rpc_reply(1)
+        assert reply.find(nc.qn("ok")) is not None
+        assert nc.parse_rpc_error(reply) is None
+
+    def test_rpc_error_roundtrip(self):
+        reply = nc.build_rpc_error(3, RpcError(
+            error_type="application", tag="invalid-value",
+            message="bad leaf"))
+        error = nc.parse_rpc_error(reply)
+        assert error.tag == "invalid-value"
+        assert error.message == "bad leaf"
+
+    def test_malformed_xml_rejected(self):
+        from repro.netconf import NetconfError
+        with pytest.raises(NetconfError):
+            nc.parse_message(b"<unclosed>")
+
+    def test_unknown_root_rejected(self):
+        from repro.netconf import NetconfError
+        with pytest.raises(NetconfError):
+            nc.parse_message(b"<wat/>")
+
+    def test_namespace_helpers(self):
+        tag = nc.qn("thing", "urn:example")
+        assert nc.local_name(tag) == "thing"
+        assert nc.namespace_of(tag) == "urn:example"
+        assert nc.namespace_of("bare") is None
+
+    def test_rpc_requires_one_operation(self):
+        from repro.netconf import NetconfError
+        rpc = nc.build_rpc(1, element("op"))
+        rpc.append(element("op2"))
+        with pytest.raises(NetconfError):
+            nc.rpc_operation(rpc)
+
+
+class TestDatastore:
+    def test_merge_creates(self):
+        store = Datastore()
+        store.edit(element("box", children=[element("item", "1")]))
+        data = store.get()
+        assert data.find("{urn:test}box/{urn:test}item").text == "1"
+
+    def test_merge_overrides_text(self):
+        store = Datastore()
+        store.edit(element("leaf", "old"))
+        store.edit(element("leaf", "new"))
+        data = store.get()
+        leaves = data.findall("{urn:test}leaf")
+        assert len(leaves) == 1
+        assert leaves[0].text == "new"
+
+    def test_replace_swaps_subtree(self):
+        store = Datastore()
+        store.edit(element("box", children=[element("a", "1"),
+                                            element("b", "2")]))
+        replacement = element("box", children=[element("c", "3")])
+        store.edit(replacement, default_operation="replace")
+        box = store.get().find("{urn:test}box")
+        assert [nc.local_name(child.tag) for child in box] == ["c"]
+
+    def test_delete_removes(self):
+        store = Datastore()
+        store.edit(element("leaf", "x"))
+        victim = element("leaf")
+        victim.set(nc.qn("operation"), "delete")
+        store.edit(victim)
+        assert store.get().find("{urn:test}leaf") is None
+
+    def test_delete_missing_errors(self):
+        store = Datastore()
+        victim = element("ghost")
+        victim.set(nc.qn("operation"), "delete")
+        with pytest.raises(DatastoreError):
+            store.edit(victim)
+
+    def test_remove_missing_is_ok(self):
+        store = Datastore()
+        victim = element("ghost")
+        victim.set(nc.qn("operation"), "remove")
+        store.edit(victim)  # no error
+
+    def test_create_duplicate_errors(self):
+        store = Datastore()
+        store.edit(element("leaf", "x"))
+        duplicate = element("leaf", "y")
+        duplicate.set(nc.qn("operation"), "create")
+        with pytest.raises(DatastoreError):
+            store.edit(duplicate)
+
+    def test_list_entries_matched_by_key(self):
+        store = Datastore(list_keys={"vnf": "id"})
+        store.edit(element("vnf", children=[element("id", "a"),
+                                            element("state", "UP")]))
+        store.edit(element("vnf", children=[element("id", "b"),
+                                            element("state", "UP")]))
+        # update entry "a" only
+        store.edit(element("vnf", children=[element("id", "a"),
+                                            element("state", "DOWN")]))
+        entries = store.get().findall("{urn:test}vnf")
+        assert len(entries) == 2
+        states = {entry.find("{urn:test}id").text:
+                  entry.find("{urn:test}state").text
+                  for entry in entries}
+        assert states == {"a": "DOWN", "b": "UP"}
+
+    def test_subtree_filter(self):
+        store = Datastore()
+        store.edit(element("alpha", "1"))
+        store.edit(element("beta", "2"))
+        filtered = store.get_subtree(element("alpha"))
+        assert filtered.find("{urn:test}alpha") is not None
+        assert filtered.find("{urn:test}beta") is None
+
+    def test_copy_from(self):
+        running = Datastore("running")
+        candidate = Datastore("candidate")
+        candidate.edit(element("staged", "yes"))
+        running.copy_from(candidate)
+        assert running.get().find("{urn:test}staged").text == "yes"
+        # deep copy: further candidate edits don't leak
+        candidate.edit(element("staged", "no"))
+        assert running.get().find("{urn:test}staged").text == "yes"
+
+
+def connected_pair(sim=None, **server_kwargs):
+    sim = sim or Simulator()
+    pair = TransportPair(sim, latency=0.001)
+    server = NetconfServer(pair.server, **server_kwargs)
+    client = NetconfClient(pair.client)
+    client.wait_connected()
+    # wait_connected returns on the server->client hello; give the
+    # client->server hello (still in flight) time to land too.
+    sim.run(until=sim.now + 0.1)
+    return sim, server, client
+
+
+class TestSession:
+    def test_hello_exchange(self):
+        _sim, server, client = connected_pair()
+        assert client.session_id == server.session_id
+        assert nc.CAP_BASE_10 in client.server_capabilities
+        assert server.peer_capabilities is not None
+
+    def test_chunked_upgrade_when_both_support_11(self):
+        from repro.netconf.framing import ChunkedFramer
+        _sim, server, client = connected_pair()
+        assert isinstance(client._tx_framer, ChunkedFramer)
+        assert isinstance(server._tx_framer, ChunkedFramer)
+
+    def test_stays_eom_when_server_is_10_only(self):
+        from repro.netconf.framing import EomFramer
+        sim = Simulator()
+        pair = TransportPair(sim)
+        server = NetconfServer(pair.server,
+                               capabilities=[nc.CAP_BASE_10])
+        client = NetconfClient(pair.client)
+        client.wait_connected()
+        assert isinstance(client._tx_framer, EomFramer)
+        # and RPCs still work
+        reply = client.get().result(sim)
+        assert reply is not None
+
+    def test_rpc_before_hello_rejected(self):
+        sim = Simulator()
+        pair = TransportPair(sim)
+        NetconfServer(pair.server)
+        client = NetconfClient(pair.client)
+        with pytest.raises(SessionError):
+            client.request(nc.build_get())
+
+    def test_get_roundtrip(self):
+        sim, server, client = connected_pair()
+        server.datastores["running"].edit(element("status", "fine"))
+        reply = client.get().result(sim)
+        data = reply.find(nc.qn("data"))
+        assert data.find("{urn:test}status").text == "fine"
+
+    def test_edit_config_then_get_config(self):
+        sim, _server, client = connected_pair()
+        client.edit_config(element("knob", "11")).result(sim)
+        reply = client.get_config().result(sim)
+        data = reply.find(nc.qn("data"))
+        assert data.find("{urn:test}knob").text == "11"
+
+    def test_get_with_filter(self):
+        sim, server, client = connected_pair()
+        server.datastores["running"].edit(element("a", "1"))
+        server.datastores["running"].edit(element("b", "2"))
+        reply = client.get(element("a")).result(sim)
+        data = reply.find(nc.qn("data"))
+        assert data.find("{urn:test}a") is not None
+        assert data.find("{urn:test}b") is None
+
+    def test_unknown_rpc_returns_error(self):
+        sim, _server, client = connected_pair()
+        with pytest.raises(RpcError) as exc:
+            client.rpc("fly-to-the-moon", "urn:test").result(sim)
+        assert exc.value.tag == "operation-not-supported"
+
+    def test_custom_rpc_dispatch(self):
+        sim, server, client = connected_pair()
+
+        def add(operation):
+            values = [int(child.text) for child in operation]
+            result = element("sum", str(sum(values)))
+            return [result]
+
+        server.register_rpc("add", add)
+        reply = client.rpc("add", "urn:test",
+                           {"x": "2", "y": "3"}).result(sim)
+        assert reply.find("{urn:test}sum").text == "5"
+
+    def test_handler_exception_becomes_rpc_error(self):
+        sim, server, client = connected_pair()
+
+        def boom(_operation):
+            raise RpcError(tag="operation-failed", message="kaput")
+
+        server.register_rpc("boom", boom)
+        with pytest.raises(RpcError) as exc:
+            client.rpc("boom", "urn:test").result(sim)
+        assert exc.value.message == "kaput"
+
+    def test_concurrent_rpcs_matched_by_id(self):
+        sim, server, client = connected_pair()
+        server.register_rpc(
+            "echo", lambda op: [element("v", op[0].text)])
+        op1 = ET.Element(nc.qn("echo", "urn:test"))
+        ET.SubElement(op1, nc.qn("v", "urn:test")).text = "one"
+        op2 = ET.Element(nc.qn("echo", "urn:test"))
+        ET.SubElement(op2, nc.qn("v", "urn:test")).text = "two"
+        pending1 = client.request(op1)
+        pending2 = client.request(op2)
+        sim.run(until=sim.now + 1.0)
+        assert pending1.reply.find("{urn:test}v").text == "one"
+        assert pending2.reply.find("{urn:test}v").text == "two"
+
+    def test_close_session(self):
+        sim, server, client = connected_pair()
+        client.close().result(sim)
+        sim.run(until=sim.now + 0.1)
+        assert server.closed
+        assert client.closed
+        with pytest.raises(SessionError):
+            client.get()
+
+    def test_on_done_callback(self):
+        sim, _server, client = connected_pair()
+        done = []
+        client.get().on_done(lambda pending: done.append(pending))
+        sim.run(until=sim.now + 1.0)
+        assert len(done) == 1
+        assert done[0].done
+
+    def test_result_timeout(self):
+        from repro.netconf import NetconfError
+        sim = Simulator()
+        pair = TransportPair(sim)
+        NetconfServer(pair.server)
+        client = NetconfClient(pair.client)
+        client.wait_connected()
+        pair.client.closed = True  # silently break the pipe
+        pending = client.get()
+        with pytest.raises(NetconfError):
+            pending.result(sim, timeout=1.0)
+
+    def test_rpc_count_tracked(self):
+        sim, server, client = connected_pair()
+        client.get().result(sim)
+        client.get().result(sim)
+        assert server.rpc_count == 2
+        assert client.rpcs_sent == 2

@@ -1,0 +1,301 @@
+"""Tests for hosts, switches, topologies and the Network object."""
+
+import pytest
+
+from repro.netem import (CLI, LinearTopo, Network, NetworkError,
+                         PacketCapture, SingleSwitchTopo, Topo, TreeTopo)
+from repro.packet import Ethernet, IPv4, UDP
+from repro.pox import Core, L2LearningSwitch, OpenFlowNexus
+from repro.sim import Simulator
+
+
+def controlled_network(sim=None):
+    net = Network(sim=sim)
+    core = Core(net.sim)
+    nexus = OpenFlowNexus(core)
+    L2LearningSwitch(nexus)
+    net.add_controller(nexus)
+    return net
+
+
+class TestAddressAssignment:
+    def test_sequential_ips(self):
+        net = Network()
+        h1 = net.add_host("h1")
+        h2 = net.add_host("h2")
+        assert str(h1.ip) == "10.0.0.1"
+        assert str(h2.ip) == "10.0.0.2"
+
+    def test_explicit_ip_honoured(self):
+        net = Network()
+        host = net.add_host("h1", ip="192.168.7.7")
+        assert str(host.ip) == "192.168.7.7"
+
+    def test_unique_macs(self):
+        net = Network()
+        macs = {str(net.add_host("h%d" % i).mac) for i in range(20)}
+        assert len(macs) == 20
+
+    def test_duplicate_name_rejected(self):
+        net = Network()
+        net.add_host("x")
+        with pytest.raises(NetworkError):
+            net.add_switch("x")
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(NetworkError):
+            Network().get("nope")
+
+    def test_getitem(self):
+        net = Network()
+        host = net.add_host("h1")
+        assert net["h1"] is host
+
+
+class TestLinks:
+    def test_host_reuses_primary_interface(self):
+        net = Network()
+        h1 = net.add_host("h1")
+        s1 = net.add_switch("s1")
+        net.add_link(h1, s1)
+        assert len(h1.interfaces) == 1
+
+    def test_second_host_link_adds_interface(self):
+        net = Network()
+        h1 = net.add_host("h1")
+        s1, s2 = net.add_switch("s1"), net.add_switch("s2")
+        net.add_link(h1, s1)
+        net.add_link(h1, s2)
+        assert len(h1.interfaces) == 2
+
+    def test_links_by_name(self):
+        net = Network()
+        net.add_host("h1")
+        net.add_switch("s1")
+        link = net.add_link("h1", "s1")
+        assert link in net.links_of("h1")
+        assert link in net.links_of("s1")
+
+    def test_switch_ports_numbered_in_order(self):
+        net = Network()
+        s1 = net.add_switch("s1")
+        h1, h2 = net.add_host("h1"), net.add_host("h2")
+        net.add_link(h1, s1)
+        net.add_link(h2, s1)
+        assert sorted(s1.datapath.ports) == [1, 2]
+
+
+class TestPingAndUdp:
+    def test_ping_through_one_switch(self):
+        net = controlled_network()
+        h1, h2 = net.add_host("h1"), net.add_host("h2")
+        s1 = net.add_switch("s1")
+        net.add_link(h1, s1, delay=0.001)
+        net.add_link(h2, s1, delay=0.001)
+        net.start()
+        result = h1.ping(h2.ip, count=3, interval=0.1)
+        net.run(2.0)
+        assert result.received == 3
+        assert result.loss_percent == 0.0
+        assert result.min_rtt > 0.002  # at least 4 link traversals
+
+    def test_ping_unreachable_loses_everything(self):
+        net = controlled_network()
+        h1 = net.add_host("h1")
+        s1 = net.add_switch("s1")
+        net.add_link(h1, s1)
+        net.start()
+        result = h1.ping("10.9.9.9", count=2, interval=0.1)
+        net.run(3.0)
+        assert result.received == 0
+        assert result.loss_percent == 100.0
+
+    def test_ping_all_full_mesh(self):
+        net = controlled_network()
+        topo_hosts = [net.add_host("h%d" % i) for i in range(1, 4)]
+        s1 = net.add_switch("s1")
+        for host in topo_hosts:
+            net.add_link(host, s1)
+        net.start()
+        sent, received = net.ping_all()
+        assert sent == 6
+        assert received == 6
+
+    def test_udp_delivery_and_handler(self):
+        net = controlled_network()
+        h1, h2 = net.add_host("h1"), net.add_host("h2")
+        s1 = net.add_switch("s1")
+        net.add_link(h1, s1)
+        net.add_link(h2, s1)
+        net.start()
+        net.static_arp()
+        got = []
+        h2.bind_udp(5001, lambda src, sport, data: got.append(data))
+        h1.send_udp(h2.ip, 5001, b"payload-1")
+        net.run(1.0)
+        assert got == [b"payload-1"]
+        assert h2.udp_rx_count == 1
+
+    def test_udp_flow_rate(self):
+        net = controlled_network()
+        h1, h2 = net.add_host("h1"), net.add_host("h2")
+        s1 = net.add_switch("s1")
+        net.add_link(h1, s1)
+        net.add_link(h2, s1)
+        net.start()
+        net.static_arp()
+        report = h1.start_udp_flow(h2.ip, 7000, rate_pps=100,
+                                   duration=1.0, payload_size=100)
+        net.run(2.0)
+        assert report.finished
+        assert report.sent == 100
+        assert h2.udp_rx_count == 100
+
+    def test_static_arp_suppresses_arp_traffic(self):
+        net = controlled_network()
+        h1, h2 = net.add_host("h1"), net.add_host("h2")
+        s1 = net.add_switch("s1")
+        net.add_link(h1, s1)
+        net.add_link(h2, s1)
+        net.start()
+        net.static_arp()
+        capture = PacketCapture(
+            filter_fn=lambda f: f.type == Ethernet.ARP_TYPE)
+        h1.attach_capture(capture)
+        h1.ping(h2.ip, count=1)
+        net.run(1.0)
+        assert capture.matched == 0
+
+    def test_capture_records_frames(self):
+        net = controlled_network()
+        h1, h2 = net.add_host("h1"), net.add_host("h2")
+        s1 = net.add_switch("s1")
+        net.add_link(h1, s1)
+        net.add_link(h2, s1)
+        net.start()
+        net.static_arp()
+        capture = PacketCapture()
+        h2.attach_capture(capture)
+        h1.send_udp(h2.ip, 1234, b"x")
+        net.run(1.0)
+        assert capture.matched >= 1
+        assert any(entry.direction == "rx" for entry in capture.frames)
+
+
+class TestTopoBuilders:
+    def test_single_switch(self):
+        topo = SingleSwitchTopo(k=4)
+        assert len(topo.hosts()) == 4
+        assert len(topo.switches()) == 1
+        assert len(topo.links) == 4
+
+    def test_linear(self):
+        topo = LinearTopo(k=3, n=2)
+        assert len(topo.switches()) == 3
+        assert len(topo.hosts()) == 6
+        assert len(topo.links) == 2 + 6  # switch spine + host links
+
+    def test_tree(self):
+        topo = TreeTopo(depth=2, fanout=2)
+        assert len(topo.switches()) == 3
+        assert len(topo.hosts()) == 4
+
+    def test_build_and_ping(self):
+        net = controlled_network()
+        built = Network.build(LinearTopo(k=2, n=1), sim=net.sim)
+        # rebuild with controller: simpler to attach controller first
+        net2 = Network.build(LinearTopo(k=2, n=1))
+        core = Core(net2.sim)
+        nexus = OpenFlowNexus(core)
+        L2LearningSwitch(nexus)
+        net2.add_controller(nexus)
+        net2.start()
+        sent, received = net2.ping_all()
+        assert sent == received == 2
+
+    def test_duplicate_node_rejected(self):
+        topo = Topo()
+        topo.add_host("x")
+        with pytest.raises(ValueError):
+            topo.add_switch("x")
+
+    def test_link_to_unknown_rejected(self):
+        topo = Topo()
+        topo.add_host("a")
+        with pytest.raises(ValueError):
+            topo.add_link("a", "ghost")
+
+
+class TestCLI:
+    def _net(self):
+        net = controlled_network()
+        h1, h2 = net.add_host("h1"), net.add_host("h2")
+        s1 = net.add_switch("s1")
+        net.add_link(h1, s1)
+        net.add_link(h2, s1)
+        net.start()
+        return net
+
+    def test_nodes(self):
+        cli = CLI(self._net())
+        output = cli.run_command("nodes")
+        assert "h1" in output and "s1" in output
+
+    def test_net_shows_peers(self):
+        cli = CLI(self._net())
+        assert "s1:" in cli.run_command("net")
+
+    def test_pingall(self):
+        cli = CLI(self._net())
+        assert "0% dropped" in cli.run_command("pingall")
+
+    def test_ping_between_hosts(self):
+        cli = CLI(self._net())
+        output = cli.run_command("ping h1 h2 2")
+        assert "2 packets transmitted, 2 received" in output
+
+    def test_flows_lists_entries(self):
+        net = self._net()
+        cli = CLI(net)
+        cli.run_command("pingall")
+        assert "dpid 1" in cli.run_command("flows")
+
+    def test_unknown_command(self):
+        cli = CLI(self._net())
+        assert "Unknown command" in cli.run_command("frobnicate")
+
+    def test_error_surfaced_not_raised(self):
+        cli = CLI(self._net())
+        assert "Error" in cli.run_command("ping h1 ghost")
+
+    def test_empty_line(self):
+        cli = CLI(self._net())
+        assert cli.run_command("   ") == ""
+
+    def test_vnfs_and_resources_empty(self):
+        cli = CLI(self._net())
+        assert "no VNF containers" in cli.run_command("vnfs")
+        assert "no VNF containers" in cli.run_command("resources")
+
+    def test_help(self):
+        assert "pingall" in CLI(self._net()).run_command("help")
+
+    def test_interact_repl_scripted(self):
+        cli = CLI(self._net())
+        script = iter(["nodes", "bogus-command", "exit"])
+        outputs = []
+        cli.interact(input_fn=lambda prompt: next(script),
+                     output_fn=outputs.append)
+        joined = "\n".join(outputs)
+        assert "h1" in joined
+        assert "Unknown command" in joined
+
+    def test_interact_handles_eof(self):
+        cli = CLI(self._net())
+
+        def raise_eof(prompt):
+            raise EOFError
+
+        outputs = []
+        cli.interact(input_fn=raise_eof, output_fn=outputs.append)
+        assert outputs  # greeted, then exited cleanly

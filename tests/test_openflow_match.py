@@ -1,0 +1,192 @@
+"""Tests for the OF 1.0 match structure and actions."""
+
+import pytest
+
+from repro.openflow import (Match, Output, SetDlDst, SetDlSrc, SetNwDst,
+                            SetNwSrc, SetTpDst, SetTpSrc, SetVlan,
+                            StripVlan)
+from repro.openflow.actions import apply_actions
+from repro.openflow.match import NO_VLAN
+from repro.packet import ARP, Ethernet, ICMP, IPv4, TCP, UDP, Vlan
+
+
+def udp_frame(srcip="10.0.0.1", dstip="10.0.0.2", sport=1000, dport=2000,
+              src="00:00:00:00:00:01", dst="00:00:00:00:00:02"):
+    return Ethernet(src=src, dst=dst, type=Ethernet.IP_TYPE,
+                    payload=IPv4(srcip=srcip, dstip=dstip,
+                                 protocol=IPv4.UDP_PROTOCOL,
+                                 payload=UDP(srcport=sport, dstport=dport)))
+
+
+class TestFromPacket:
+    def test_udp_fields_extracted(self):
+        match = Match.from_packet(udp_frame(), in_port=3)
+        assert match.in_port == 3
+        assert match.dl_type == Ethernet.IP_TYPE
+        assert match.nw_proto == IPv4.UDP_PROTOCOL
+        assert str(match.nw_src) == "10.0.0.1"
+        assert match.tp_src == 1000
+        assert match.tp_dst == 2000
+        assert match.dl_vlan == NO_VLAN
+
+    def test_vlan_tagged(self):
+        frame = Ethernet(type=Ethernet.VLAN_TYPE,
+                         payload=Vlan(vid=55, type=Ethernet.IP_TYPE,
+                                      payload=IPv4()))
+        match = Match.from_packet(frame)
+        assert match.dl_vlan == 55
+        assert match.dl_type == Ethernet.IP_TYPE  # effective type
+
+    def test_arp_uses_nw_fields(self):
+        frame = Ethernet(type=Ethernet.ARP_TYPE,
+                         payload=ARP(opcode=ARP.REQUEST,
+                                     protosrc="10.0.0.1",
+                                     protodst="10.0.0.2"))
+        match = Match.from_packet(frame)
+        assert match.nw_proto == ARP.REQUEST
+        assert str(match.nw_dst) == "10.0.0.2"
+
+    def test_icmp_type_code_in_tp_fields(self):
+        frame = Ethernet(type=Ethernet.IP_TYPE,
+                         payload=IPv4(protocol=IPv4.ICMP_PROTOCOL,
+                                      payload=ICMP(type=8, code=0)))
+        match = Match.from_packet(frame)
+        assert match.tp_src == 8
+        assert match.tp_dst == 0
+
+    def test_accepts_raw_bytes(self):
+        match = Match.from_packet(udp_frame().pack(), in_port=1)
+        assert match.tp_dst == 2000
+
+
+class TestMatching:
+    def test_empty_match_is_wildcard(self):
+        assert Match().matches_packet(udp_frame(), in_port=9)
+
+    def test_exact_field(self):
+        pattern = Match(nw_dst="10.0.0.2")
+        assert pattern.matches_packet(udp_frame())
+        assert not pattern.matches_packet(udp_frame(dstip="10.0.0.3"))
+
+    def test_in_port_constrains(self):
+        pattern = Match(in_port=1)
+        assert pattern.matches_packet(udp_frame(), in_port=1)
+        assert not pattern.matches_packet(udp_frame(), in_port=2)
+
+    def test_cidr_nw_match(self):
+        pattern = Match(nw_src=("10.0.0.0", 24))
+        assert pattern.matches_packet(udp_frame(srcip="10.0.0.77"))
+        assert not pattern.matches_packet(udp_frame(srcip="10.0.1.77"))
+
+    def test_cidr_string_form(self):
+        pattern = Match(nw_src="10.0.0.0/24")
+        assert pattern.matches_packet(udp_frame(srcip="10.0.0.5"))
+
+    def test_dl_fields(self):
+        pattern = Match(dl_src="00:00:00:00:00:01",
+                        dl_dst="00:00:00:00:00:02")
+        assert pattern.matches_packet(udp_frame())
+        assert not pattern.matches_packet(
+            udp_frame(src="00:00:00:00:00:09"))
+
+    def test_vlan_none_vs_tagged(self):
+        untagged = Match(dl_vlan=NO_VLAN)
+        assert untagged.matches_packet(udp_frame())
+        tagged_frame = Ethernet(type=Ethernet.VLAN_TYPE,
+                                payload=Vlan(vid=5,
+                                             type=Ethernet.IP_TYPE,
+                                             payload=IPv4()))
+        assert not untagged.matches_packet(tagged_frame)
+        assert Match(dl_vlan=5).matches_packet(tagged_frame)
+
+    def test_nw_proto_mismatch(self):
+        pattern = Match(nw_proto=IPv4.TCP_PROTOCOL)
+        assert not pattern.matches_packet(udp_frame())
+
+    def test_tp_fields_absent_on_non_l4(self):
+        pattern = Match(tp_dst=80)
+        frame = Ethernet(type=Ethernet.IP_TYPE, payload=IPv4(protocol=99))
+        assert not pattern.matches_packet(frame)
+
+    def test_equality_and_hash(self):
+        a = Match(in_port=1, nw_src="10.0.0.1")
+        b = Match(in_port=1, nw_src="10.0.0.1")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Match(in_port=2, nw_src="10.0.0.1")
+
+    def test_is_subset_of(self):
+        specific = Match(in_port=1, nw_src="10.0.0.1", tp_dst=80)
+        broad = Match(nw_src="10.0.0.1")
+        assert specific.is_subset_of(broad)
+        assert not broad.is_subset_of(specific)
+        assert specific.is_subset_of(Match())
+
+    def test_wildcard_count(self):
+        assert Match().wildcard_count == 11
+        assert Match(in_port=1).wildcard_count == 10
+
+
+class TestActions:
+    def test_output_collected_not_applied(self):
+        frame, ports = apply_actions([Output(3), Output(7)], udp_frame())
+        assert ports == [3, 7]
+
+    def test_set_vlan_pushes_tag(self):
+        frame, _ = apply_actions([SetVlan(42)], udp_frame())
+        decoded = Ethernet.unpack(frame.pack())
+        assert decoded.find(Vlan).vid == 42
+        assert decoded.find(IPv4) is not None
+
+    def test_set_vlan_rewrites_existing(self):
+        frame, _ = apply_actions([SetVlan(1), SetVlan(2)], udp_frame())
+        tags = []
+        node = frame
+        while node is not None and hasattr(node, "payload"):
+            if isinstance(node, Vlan):
+                tags.append(node.vid)
+            node = node.payload if not isinstance(node.payload, bytes) \
+                else None
+        assert tags == [2]
+
+    def test_strip_vlan(self):
+        frame, _ = apply_actions([SetVlan(9), StripVlan()], udp_frame())
+        assert frame.find(Vlan) is None
+        assert frame.type == Ethernet.IP_TYPE
+
+    def test_strip_vlan_untagged_noop(self):
+        frame, _ = apply_actions([StripVlan()], udp_frame())
+        assert frame.find(IPv4) is not None
+
+    def test_set_dl_addresses(self):
+        frame, _ = apply_actions(
+            [SetDlSrc("00:00:00:00:00:0a"), SetDlDst("00:00:00:00:00:0b")],
+            udp_frame())
+        assert str(frame.src) == "00:00:00:00:00:0a"
+        assert str(frame.dst) == "00:00:00:00:00:0b"
+
+    def test_set_nw_addresses(self):
+        frame, _ = apply_actions(
+            [SetNwSrc("1.1.1.1"), SetNwDst("2.2.2.2")], udp_frame())
+        ip = frame.find(IPv4)
+        assert str(ip.srcip) == "1.1.1.1"
+        assert str(ip.dstip) == "2.2.2.2"
+
+    def test_set_tp_ports(self):
+        frame, _ = apply_actions([SetTpSrc(7), SetTpDst(8)], udp_frame())
+        udp = frame.find(UDP)
+        assert (udp.srcport, udp.dstport) == (7, 8)
+
+    def test_nw_action_on_non_ip_is_noop(self):
+        frame = Ethernet(type=Ethernet.ARP_TYPE, payload=ARP())
+        result, _ = apply_actions([SetNwSrc("9.9.9.9")], frame)
+        assert result.find(ARP) is not None
+
+    def test_action_equality(self):
+        assert Output(1) == Output(1)
+        assert Output(1) != Output(2)
+        assert SetVlan(5) == SetVlan(5)
+
+    def test_vlan_range_checked(self):
+        with pytest.raises(ValueError):
+            SetVlan(4096)

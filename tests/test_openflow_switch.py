@@ -1,0 +1,326 @@
+"""Tests for the flow table and the OpenFlow switch datapath."""
+
+import pytest
+
+from repro.openflow import (BarrierReply, BarrierRequest, ControllerChannel,
+                            EchoReply, EchoRequest, FeaturesReply, FlowEntry,
+                            FlowMod, FlowRemoved, FlowStatsReply,
+                            FlowStatsRequest, FlowTable, Hello, Match,
+                            OpenFlowSwitch, Output, PacketIn, PacketOut,
+                            PortStatsReply, PortStatsRequest, PortStatus,
+                            OFPP_CONTROLLER, OFPP_FLOOD, OFPP_IN_PORT)
+from repro.packet import Ethernet, IPv4, UDP
+from repro.sim import Simulator
+
+
+def frame_bytes(dst="00:00:00:00:00:02", src="00:00:00:00:00:01",
+                dstip="10.0.0.2"):
+    return Ethernet(src=src, dst=dst, type=Ethernet.IP_TYPE,
+                    payload=IPv4(srcip="10.0.0.1", dstip=dstip,
+                                 protocol=IPv4.UDP_PROTOCOL,
+                                 payload=UDP(srcport=1, dstport=2))).pack()
+
+
+class TestFlowTable:
+    def test_priority_order(self):
+        table = FlowTable()
+        table.add(FlowEntry(Match(), [Output(1)], priority=10))
+        table.add(FlowEntry(Match(nw_dst="10.0.0.2"), [Output(2)],
+                            priority=100))
+        entry = table.lookup(frame_bytes(), in_port=1, now=0.0)
+        assert entry.actions == [Output(2)]
+
+    def test_add_replaces_same_match_and_priority(self):
+        table = FlowTable()
+        table.add(FlowEntry(Match(in_port=1), [Output(1)], priority=5))
+        table.add(FlowEntry(Match(in_port=1), [Output(9)], priority=5))
+        assert len(table) == 1
+        assert table.entries[0].actions == [Output(9)]
+
+    def test_hard_timeout_expires(self):
+        table = FlowTable()
+        table.add(FlowEntry(Match(), [Output(1)], hard_timeout=5.0,
+                            installed_at=0.0))
+        assert table.lookup(frame_bytes(), 1, now=4.9) is not None
+        assert table.lookup(frame_bytes(), 1, now=5.1) is None
+
+    def test_idle_timeout_refreshed_by_hits(self):
+        table = FlowTable()
+        entry = FlowEntry(Match(), [Output(1)], idle_timeout=2.0,
+                          installed_at=0.0)
+        table.add(entry)
+        hit = table.lookup(frame_bytes(), 1, now=1.5)
+        hit.note_hit(100, 1.5)
+        assert table.lookup(frame_bytes(), 1, now=3.0) is not None
+        assert table.lookup(frame_bytes(), 1, now=6.0) is None
+
+    def test_expiry_callback(self):
+        removed = []
+        table = FlowTable(on_removed=lambda e, r: removed.append((e, r)))
+        table.add(FlowEntry(Match(), [Output(1)], hard_timeout=1.0))
+        table.expire(now=2.0)
+        assert len(removed) == 1
+        assert removed[0][1] == FlowRemoved.REASON_HARD_TIMEOUT
+
+    def test_delete_loose(self):
+        table = FlowTable()
+        table.add(FlowEntry(Match(in_port=1, nw_dst="10.0.0.2"),
+                            [Output(1)]))
+        table.add(FlowEntry(Match(in_port=2), [Output(2)]))
+        removed = table.delete(Match(nw_dst="10.0.0.2"))
+        assert removed == 1
+        assert len(table) == 1
+
+    def test_delete_strict_requires_exact(self):
+        table = FlowTable()
+        table.add(FlowEntry(Match(in_port=1), [Output(1)], priority=7))
+        assert table.delete(Match(in_port=1), strict=True, priority=8) == 0
+        assert table.delete(Match(in_port=1), strict=True, priority=7) == 1
+
+    def test_modify_updates_actions(self):
+        table = FlowTable()
+        table.add(FlowEntry(Match(in_port=1), [Output(1)]))
+        updated = table.modify(Match(), [Output(5)])
+        assert updated == 1
+        assert table.entries[0].actions == [Output(5)]
+
+    def test_stats_filtering(self):
+        table = FlowTable()
+        table.add(FlowEntry(Match(in_port=1), [Output(1)]))
+        table.add(FlowEntry(Match(in_port=2), [Output(2)]))
+        assert len(table.stats()) == 2
+        assert len(table.stats(Match(in_port=1))) == 1
+
+
+class HarnessedSwitch:
+    """A switch with a recording controller and capture ports."""
+
+    def __init__(self, ports=2):
+        self.sim = Simulator()
+        self.switch = OpenFlowSwitch(self.sim, dpid=1)
+        self.sent = {n: [] for n in range(1, ports + 1)}
+        for n in range(1, ports + 1):
+            port = self.switch.add_port(n)
+            port.transmit = self.sent[n].append
+        self.channel = ControllerChannel(self.sim)
+        self.received = []
+        self.channel.set_controller_receiver(self.received.append)
+        self.switch.connect_controller(self.channel)
+        self.sim.run(until=0.01)
+
+    def run(self, duration=0.01):
+        self.sim.run(until=self.sim.now + duration)
+
+    def messages(self, kind):
+        return [m for m in self.received if isinstance(m, kind)]
+
+
+class TestHandshake:
+    def test_hello_sent_on_connect(self):
+        harness = HarnessedSwitch()
+        assert harness.messages(Hello)
+
+    def test_features_reply(self):
+        harness = HarnessedSwitch()
+        harness.channel.send_to_switch(
+            __import__("repro.openflow.messages", fromlist=["x"]
+                       ).FeaturesRequest())
+        harness.run()
+        replies = harness.messages(FeaturesReply)
+        assert replies and replies[0].dpid == 1
+        assert len(replies[0].ports) == 2
+
+    def test_echo(self):
+        harness = HarnessedSwitch()
+        harness.channel.send_to_switch(EchoRequest(b"ping-me"))
+        harness.run()
+        replies = harness.messages(EchoReply)
+        assert replies and replies[0].data == b"ping-me"
+
+    def test_barrier(self):
+        harness = HarnessedSwitch()
+        request = BarrierRequest()
+        harness.channel.send_to_switch(request)
+        harness.run()
+        replies = harness.messages(BarrierReply)
+        assert replies and replies[0].xid == request.xid
+
+    def test_port_add_notification_when_connected(self):
+        harness = HarnessedSwitch()
+        harness.switch.add_port(9)
+        harness.run()
+        notices = harness.messages(PortStatus)
+        assert any(n.desc.port_no == 9 for n in notices)
+
+
+class TestDatapath:
+    def test_miss_generates_packet_in_with_buffer(self):
+        harness = HarnessedSwitch()
+        harness.switch.ports[1].receive(frame_bytes())
+        harness.run()
+        packet_ins = harness.messages(PacketIn)
+        assert len(packet_ins) == 1
+        assert packet_ins[0].in_port == 1
+        assert packet_ins[0].buffer_id is not None
+
+    def test_miss_without_controller_drops(self):
+        sim = Simulator()
+        switch = OpenFlowSwitch(sim, dpid=2)
+        switch.add_port(1).transmit = lambda d: None
+        switch.ports[1].receive(frame_bytes())
+        assert switch.dropped_count == 1
+
+    def test_flow_mod_installs_and_forwards(self):
+        harness = HarnessedSwitch()
+        harness.channel.send_to_switch(FlowMod(
+            Match(dl_dst="00:00:00:00:00:02"), [Output(2)]))
+        harness.run()
+        harness.switch.ports[1].receive(frame_bytes())
+        assert len(harness.sent[2]) == 1
+        assert harness.switch.packet_in_count == 0
+
+    def test_flow_mod_with_buffer_releases_packet(self):
+        harness = HarnessedSwitch()
+        harness.switch.ports[1].receive(frame_bytes())
+        harness.run()
+        packet_in = harness.messages(PacketIn)[0]
+        harness.channel.send_to_switch(FlowMod(
+            Match(), [Output(2)], buffer_id=packet_in.buffer_id))
+        harness.run()
+        assert len(harness.sent[2]) == 1
+
+    def test_packet_out_with_data(self):
+        harness = HarnessedSwitch()
+        harness.channel.send_to_switch(PacketOut(
+            actions=[Output(1)], data=frame_bytes()))
+        harness.run()
+        assert len(harness.sent[1]) == 1
+
+    def test_packet_out_flood_excludes_in_port(self):
+        harness = HarnessedSwitch()
+        harness.channel.send_to_switch(PacketOut(
+            actions=[Output(OFPP_FLOOD)], data=frame_bytes(), in_port=1))
+        harness.run()
+        assert len(harness.sent[1]) == 0
+        assert len(harness.sent[2]) == 1
+
+    def test_output_in_port(self):
+        harness = HarnessedSwitch()
+        harness.channel.send_to_switch(FlowMod(
+            Match(), [Output(OFPP_IN_PORT)]))
+        harness.run()
+        harness.switch.ports[1].receive(frame_bytes())
+        assert len(harness.sent[1]) == 1
+
+    def test_output_controller_action(self):
+        harness = HarnessedSwitch()
+        harness.channel.send_to_switch(FlowMod(
+            Match(), [Output(OFPP_CONTROLLER)]))
+        harness.run()
+        harness.switch.ports[1].receive(frame_bytes())
+        harness.run()
+        assert any(p.reason == PacketIn.REASON_ACTION
+                   for p in harness.messages(PacketIn))
+
+    def test_empty_action_list_drops(self):
+        harness = HarnessedSwitch()
+        harness.channel.send_to_switch(FlowMod(Match(), []))
+        harness.run()
+        before = harness.switch.dropped_count
+        harness.switch.ports[1].receive(frame_bytes())
+        assert harness.switch.dropped_count == before + 1
+
+    def test_flow_removed_notification(self):
+        harness = HarnessedSwitch()
+        harness.channel.send_to_switch(FlowMod(
+            Match(in_port=1), [Output(2)], hard_timeout=0.2,
+            flags=FlowMod.SEND_FLOW_REM))
+        harness.run()
+        harness.run(1.0)  # let the expiry sweep fire
+        removed = harness.messages(FlowRemoved)
+        assert removed
+        assert removed[0].reason == FlowRemoved.REASON_HARD_TIMEOUT
+
+    def test_delete_command(self):
+        harness = HarnessedSwitch()
+        harness.channel.send_to_switch(FlowMod(
+            Match(in_port=1), [Output(2)]))
+        harness.run()
+        assert len(harness.switch.table) == 1
+        harness.channel.send_to_switch(FlowMod(
+            Match(), command=FlowMod.DELETE))
+        harness.run()
+        assert len(harness.switch.table) == 0
+
+    def test_flow_stats(self):
+        harness = HarnessedSwitch()
+        harness.channel.send_to_switch(FlowMod(
+            Match(dl_dst="00:00:00:00:00:02"), [Output(2)]))
+        harness.run()
+        harness.switch.ports[1].receive(frame_bytes())
+        harness.switch.ports[1].receive(frame_bytes())
+        harness.channel.send_to_switch(FlowStatsRequest())
+        harness.run()
+        stats = harness.messages(FlowStatsReply)[0].stats
+        assert stats[0].packet_count == 2
+        assert stats[0].byte_count > 0
+
+    def test_port_stats(self):
+        harness = HarnessedSwitch()
+        harness.channel.send_to_switch(FlowMod(Match(), [Output(2)]))
+        harness.run()
+        harness.switch.ports[1].receive(frame_bytes())
+        harness.channel.send_to_switch(PortStatsRequest())
+        harness.run()
+        stats = {s.port_no: s
+                 for s in harness.messages(PortStatsReply)[0].stats}
+        assert stats[1].rx_packets == 1
+        assert stats[2].tx_packets == 1
+
+    def test_down_port_drops(self):
+        harness = HarnessedSwitch()
+        harness.channel.send_to_switch(FlowMod(Match(), [Output(2)]))
+        harness.run()
+        harness.switch.ports[2].up = False
+        harness.switch.ports[1].receive(frame_bytes())
+        assert len(harness.sent[2]) == 0
+
+    def test_duplicate_port_number_rejected(self):
+        harness = HarnessedSwitch()
+        with pytest.raises(ValueError):
+            harness.switch.add_port(1)
+
+
+class TestChannel:
+    def test_latency_delays_delivery(self):
+        sim = Simulator()
+        channel = ControllerChannel(sim, latency=0.5)
+        channel.connect()
+        received = []
+        channel.set_controller_receiver(
+            lambda m: received.append((sim.now, m)))
+        channel.send_to_controller("msg")
+        sim.run(until=0.4)
+        assert received == []
+        sim.run(until=0.6)
+        assert received[0][0] == pytest.approx(0.5)
+
+    def test_disconnected_channel_drops(self):
+        sim = Simulator()
+        channel = ControllerChannel(sim)
+        received = []
+        channel.set_controller_receiver(received.append)
+        channel.send_to_controller("lost")
+        sim.run()
+        assert received == []
+
+    def test_ordering_preserved(self):
+        sim = Simulator()
+        channel = ControllerChannel(sim, latency=0.1)
+        channel.connect()
+        received = []
+        channel.set_switch_receiver(received.append)
+        for index in range(5):
+            channel.send_to_switch(index)
+        sim.run()
+        assert received == [0, 1, 2, 3, 4]

@@ -1,0 +1,141 @@
+"""Edge-case coverage for the orchestrator's plumbing."""
+
+import pytest
+
+from repro.core import ESCAPE, OrchestratorError
+from repro.core.orchestrator import _PortMap, build_resource_view
+from repro.core.sgfile import load_service_graph, load_topology
+from repro.netem import Network
+from repro.openflow import Match
+
+TOPOLOGY = {
+    "nodes": [
+        {"name": "h1", "role": "host"},
+        {"name": "h2", "role": "host"},
+        {"name": "h3", "role": "host"},
+        {"name": "s1", "role": "switch"},
+        {"name": "nc1", "role": "vnf_container", "cpu": 4, "mem": 2048},
+    ],
+    "links": [
+        {"from": "h1", "to": "s1", "delay": 0.001},
+        {"from": "h2", "to": "s1", "delay": 0.001},
+        {"from": "h3", "to": "s1", "delay": 0.001},
+        {"from": "nc1", "to": "s1", "delay": 0.0005},
+        {"from": "nc1", "to": "s1", "delay": 0.0005},
+        {"from": "nc1", "to": "s1", "delay": 0.0005},
+        {"from": "nc1", "to": "s1", "delay": 0.0005},
+    ],
+}
+
+
+@pytest.fixture
+def escape():
+    framework = ESCAPE.from_topology(load_topology(TOPOLOGY))
+    framework.start()
+    return framework
+
+
+class TestPortMap:
+    def test_port_lookup(self, escape):
+        ports = _PortMap(escape.net)
+        port = ports.port("s1", "h1")
+        switch = escape.net.get("s1")
+        assert switch.datapath.ports[port].name.startswith("s1-eth")
+
+    def test_unknown_peer_rejected(self, escape):
+        ports = _PortMap(escape.net)
+        with pytest.raises(OrchestratorError):
+            ports.port("s1", "ghost")
+
+    def test_specific_interface_hint(self, escape):
+        ports = _PortMap(escape.net)
+        container = escape.net.get("nc1")
+        intf_names = list(container.interfaces)
+        port_a = ports.port("s1", "nc1", intf_names[0])
+        port_b = ports.port("s1", "nc1", intf_names[1])
+        assert port_a != port_b
+
+    def test_bad_interface_hint_rejected(self, escape):
+        ports = _PortMap(escape.net)
+        with pytest.raises(OrchestratorError):
+            ports.port("s1", "nc1", "nc1-eth99")
+
+    def test_peer_switch_of(self, escape):
+        ports = _PortMap(escape.net)
+        container = escape.net.get("nc1")
+        intf_name = next(iter(container.interfaces))
+        assert ports.peer_switch_of("nc1", intf_name) == "s1"
+        assert ports.peer_switch_of("nc1", "nope") is None
+
+
+class TestResourceViewBuilder:
+    def test_view_mirrors_topology(self, escape):
+        view = build_resource_view(escape.net)
+        assert set(view.saps()) == {"h1", "h2", "h3"}
+        assert view.switches() == ["s1"]
+        assert view.containers() == ["nc1"]
+        # parallel nc1--s1 links collapse into one view edge (the graph
+        # is simple); port accounting still sees all four interfaces
+        assert view.graph.number_of_edges() == 4
+
+    def test_container_capacity_copied(self, escape):
+        view = build_resource_view(escape.net)
+        data = view.graph.nodes["nc1"]
+        assert data["cpu"] == 4
+        assert data["ports"] == 4
+
+
+class TestFlowspecInference:
+    def test_ambiguous_endpoints_need_explicit_match(self, escape):
+        sg = load_service_graph({
+            "name": "fanout",
+            "saps": ["h1", "h2", "h3"],
+            "vnfs": [{"name": "lb", "type": "load_balancer"}],
+            "links": [
+                {"from": "h1", "to": "lb"},
+                {"from": "lb", "to": "h2"},
+                {"from": "lb", "to": "h3"},
+            ],
+        })
+        with pytest.raises(OrchestratorError) as exc:
+            escape.deploy_service(sg)
+        assert "flowspec" in str(exc.value)
+
+    def test_explicit_match_unblocks_fanout(self, escape):
+        sg = load_service_graph({
+            "name": "fanout-ok",
+            "saps": ["h1", "h2", "h3"],
+            "vnfs": [{"name": "lb", "type": "load_balancer"}],
+            "links": [
+                {"from": "h1", "to": "lb"},
+                {"from": "lb", "to": "h2"},
+                {"from": "lb", "to": "h3"},
+            ],
+        })
+        h1 = escape.net.get("h1")
+        chain = escape.deploy_service(
+            sg, match=Match(dl_type=0x0800, nw_src=h1.ip),
+            return_path="none")
+        assert chain.active
+
+    def test_missing_netconf_session_reported(self, escape):
+        escape.orchestrator._clients.pop("nc1")
+        sg = load_service_graph({
+            "name": "nosession",
+            "saps": ["h1", "h2"],
+            "vnfs": [{"name": "v", "type": "forwarder"}],
+            "chain": ["h1", "v", "h2"],
+        })
+        with pytest.raises(OrchestratorError) as exc:
+            escape.deploy_service(sg)
+        assert "NETCONF" in str(exc.value)
+
+    def test_bad_return_path_rejected(self, escape):
+        sg = load_service_graph({
+            "name": "badrp",
+            "saps": ["h1", "h2"],
+            "vnfs": [{"name": "v", "type": "forwarder"}],
+            "chain": ["h1", "v", "h2"],
+        })
+        with pytest.raises(OrchestratorError):
+            escape.deploy_service(sg, return_path="teleport")

@@ -1,0 +1,137 @@
+"""Tests for EthAddr and IPAddr value types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.packet import BROADCAST, EthAddr, IPAddr, is_multicast
+
+
+class TestEthAddr:
+    def test_from_string(self):
+        addr = EthAddr("00:11:22:33:44:55")
+        assert str(addr) == "00:11:22:33:44:55"
+
+    def test_from_dashes(self):
+        assert EthAddr("00-11-22-33-44-55") == EthAddr("00:11:22:33:44:55")
+
+    def test_from_bytes_roundtrip(self):
+        raw = bytes(range(6))
+        assert EthAddr(raw).raw == raw
+
+    def test_from_int_roundtrip(self):
+        assert EthAddr(0x001122334455).to_int() == 0x001122334455
+
+    def test_copy_constructor(self):
+        original = EthAddr("aa:bb:cc:dd:ee:ff")
+        assert EthAddr(original) == original
+
+    @pytest.mark.parametrize("bad", ["", "00:11:22", "00:11:22:33:44:GG",
+                                     "0:1:2:3:4:5", "001122334455"])
+    def test_malformed_strings_rejected(self, bad):
+        with pytest.raises(ValueError):
+            EthAddr(bad)
+
+    def test_wrong_byte_length_rejected(self):
+        with pytest.raises(ValueError):
+            EthAddr(b"\x00" * 5)
+
+    def test_int_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            EthAddr(1 << 48)
+
+    def test_broadcast_properties(self):
+        assert BROADCAST.is_broadcast
+        assert BROADCAST.is_multicast
+
+    def test_multicast_bit(self):
+        assert EthAddr("01:00:5e:00:00:01").is_multicast
+        assert not EthAddr("00:00:5e:00:00:01").is_multicast
+        assert is_multicast("01:00:00:00:00:00")
+
+    def test_local_bit(self):
+        assert EthAddr("02:00:00:00:00:01").is_local
+        assert not EthAddr("00:00:00:00:00:01").is_local
+
+    def test_equality_with_string(self):
+        assert EthAddr("aa:bb:cc:dd:ee:ff") == "AA:BB:CC:DD:EE:FF"
+
+    def test_hashable(self):
+        table = {EthAddr("00:00:00:00:00:01"): "one"}
+        assert table[EthAddr(1)] == "one"
+
+    def test_ordering(self):
+        assert EthAddr(1) < EthAddr(2)
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_int_string_roundtrip(self, value):
+        addr = EthAddr(value)
+        assert EthAddr(str(addr)).to_int() == value
+
+
+class TestIPAddr:
+    def test_from_string(self):
+        assert str(IPAddr("10.0.0.1")) == "10.0.0.1"
+
+    def test_from_int(self):
+        assert IPAddr(0x0A000001) == IPAddr("10.0.0.1")
+
+    def test_from_bytes(self):
+        assert IPAddr(b"\x0a\x00\x00\x01") == "10.0.0.1"
+
+    @pytest.mark.parametrize("bad", ["", "10.0.0", "10.0.0.0.1",
+                                     "10.0.0.256", "a.b.c.d", "10.0.-1.0"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            IPAddr(bad)
+
+    def test_int_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            IPAddr(1 << 32)
+
+    def test_in_network_cidr_string(self):
+        assert IPAddr("10.1.2.3").in_network("10.0.0.0/8")
+        assert not IPAddr("11.1.2.3").in_network("10.0.0.0/8")
+
+    def test_in_network_explicit_prefix(self):
+        assert IPAddr("192.168.1.7").in_network("192.168.1.0", 24)
+        assert not IPAddr("192.168.2.7").in_network("192.168.1.0", 24)
+
+    def test_in_network_zero_prefix_matches_all(self):
+        assert IPAddr("1.2.3.4").in_network("0.0.0.0/0")
+
+    def test_in_network_host_prefix(self):
+        assert IPAddr("1.2.3.4").in_network("1.2.3.4/32")
+        assert not IPAddr("1.2.3.5").in_network("1.2.3.4/32")
+
+    def test_in_network_requires_prefix(self):
+        with pytest.raises(ValueError):
+            IPAddr("1.2.3.4").in_network("10.0.0.0")
+
+    def test_in_network_bad_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            IPAddr("1.2.3.4").in_network("10.0.0.0", 33)
+
+    def test_multicast_and_broadcast(self):
+        assert IPAddr("224.0.0.1").is_multicast
+        assert not IPAddr("223.255.255.255").is_multicast
+        assert IPAddr("255.255.255.255").is_broadcast
+
+    def test_addition_wraps(self):
+        assert IPAddr("10.0.0.1") + 1 == IPAddr("10.0.0.2")
+        assert IPAddr("255.255.255.255") + 1 == IPAddr("0.0.0.0")
+
+    def test_ordering(self):
+        assert IPAddr("10.0.0.1") < IPAddr("10.0.0.2")
+
+    def test_hashable(self):
+        assert {IPAddr("1.1.1.1"): "x"}[IPAddr("1.1.1.1")] == "x"
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_int_string_roundtrip(self, value):
+        assert IPAddr(str(IPAddr(value))).to_int() == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1),
+           st.integers(min_value=0, max_value=32))
+    def test_address_always_in_own_network(self, value, prefix):
+        addr = IPAddr(value)
+        assert addr.in_network(addr, prefix)

@@ -1,0 +1,382 @@
+"""Tests for the POX-analog controller platform."""
+
+import pytest
+
+from repro.netem import Network
+from repro.openflow import Match, Output
+from repro.pox import (ConnectionUp, Core, Discovery, L2LearningSwitch,
+                       LinkEvent, OpenFlowNexus, PacketInEvent, PathHop,
+                       SteeringError, TrafficSteering)
+from repro.pox.events import Event, EventMixin
+from repro.sim import Simulator
+
+
+class TestEventMixin:
+    class Ping(Event):
+        pass
+
+    class Pong(Event):
+        pass
+
+    def test_listener_receives_event(self):
+        bus = EventMixin()
+        got = []
+        bus.add_listener(self.Ping, got.append)
+        bus.raise_event(self.Ping())
+        assert len(got) == 1
+
+    def test_listener_filtered_by_type(self):
+        bus = EventMixin()
+        got = []
+        bus.add_listener(self.Ping, got.append)
+        bus.raise_event(self.Pong())
+        assert got == []
+
+    def test_halt_stops_propagation(self):
+        bus = EventMixin()
+        order = []
+
+        def first(event):
+            order.append("first")
+            event.halt = True
+
+        bus.add_listener(self.Ping, first)
+        bus.add_listener(self.Ping, lambda e: order.append("second"))
+        bus.raise_event(self.Ping())
+        assert order == ["first"]
+
+    def test_remove_listener(self):
+        bus = EventMixin()
+        got = []
+        callback = bus.add_listener(self.Ping, got.append)
+        bus.remove_listener(self.Ping, callback)
+        bus.raise_event(self.Ping())
+        assert got == []
+
+    def test_add_listeners_by_naming_convention(self):
+        bus = EventMixin()
+
+        class Component:
+            def __init__(self):
+                self.seen = []
+
+            def _handle_Ping(self, event):
+                self.seen.append(event)
+
+        component = Component()
+        bus.add_listeners(component)
+        bus.raise_event(self.Ping())
+        assert len(component.seen) == 1
+
+
+class TestCore:
+    def test_register_and_lookup(self):
+        core = Core()
+        core.register("thing", 42)
+        assert core.component("thing") == 42
+        assert core.thing == 42
+        assert core.has_component("thing")
+
+    def test_duplicate_rejected(self):
+        core = Core()
+        core.register("x", 1)
+        with pytest.raises(ValueError):
+            core.register("x", 2)
+
+    def test_missing_attribute(self):
+        with pytest.raises(AttributeError):
+            Core().nothing_here
+
+
+def build_controlled(topo_builder):
+    """Create a network + nexus + learning switch + discovery."""
+    net = Network()
+    core = Core(net.sim)
+    nexus = OpenFlowNexus(core)
+    learning = L2LearningSwitch(nexus)
+    discovery = Discovery(nexus)
+    topo_builder(net)
+    net.add_controller(nexus)
+    net.start()
+    return net, nexus, learning, discovery
+
+
+def two_switch_topo(net):
+    h1, h2 = net.add_host("h1"), net.add_host("h2")
+    s1, s2 = net.add_switch("s1"), net.add_switch("s2")
+    net.add_link(h1, s1, delay=0.001)
+    net.add_link(s1, s2, delay=0.001)
+    net.add_link(h2, s2, delay=0.001)
+
+
+class TestNexus:
+    def test_connections_registered_after_handshake(self):
+        net, nexus, _l2, _disc = build_controlled(two_switch_topo)
+        net.run(0.1)
+        assert sorted(nexus.connections) == [1, 2]
+
+    def test_connection_up_events(self):
+        events = []
+        net = Network()
+        core = Core(net.sim)
+        nexus = OpenFlowNexus(core)
+        nexus.add_listener(ConnectionUp, events.append)
+        net.add_switch("s1")
+        net.add_controller(nexus)
+        net.start()
+        net.run(0.1)
+        assert len(events) == 1
+        assert events[0].dpid == 1
+
+    def test_connection_ports_populated(self):
+        net, nexus, _l2, _disc = build_controlled(two_switch_topo)
+        net.run(0.1)
+        connection = nexus.connection(1)
+        assert len(connection.ports) == 2
+
+    def test_send_by_dpid(self):
+        net, nexus, _l2, _disc = build_controlled(two_switch_topo)
+        net.run(0.1)
+        from repro.openflow import FlowMod
+        nexus.send(1, FlowMod(Match(), [Output(1)]))
+        net.run(0.1)
+        switch = net.get("s1")
+        assert len(switch.datapath.table) == 1
+
+    def test_unknown_dpid_raises(self):
+        net, nexus, _l2, _disc = build_controlled(two_switch_topo)
+        net.run(0.1)
+        with pytest.raises(KeyError):
+            nexus.connection(99)
+
+
+class TestL2Learning:
+    def test_hosts_reach_each_other(self):
+        net, _nexus, _l2, _disc = build_controlled(two_switch_topo)
+        net.run(0.2)
+        h1, h2 = net.get("h1"), net.get("h2")
+        result = h1.ping(h2.ip, count=2, interval=0.2)
+        net.run(2.0)
+        assert result.received == 2
+
+    def test_flows_installed_after_learning(self):
+        net, _nexus, learning, _disc = build_controlled(two_switch_topo)
+        net.run(0.2)
+        h1, h2 = net.get("h1"), net.get("h2")
+        h1.ping(h2.ip, count=1)
+        net.run(1.0)
+        assert learning.flows_installed > 0
+        assert learning.mac_table  # learned something
+
+    def test_second_ping_faster_than_first(self):
+        """First exchange pays packet-in RTTs; repeats hit the tables."""
+        net, _nexus, _l2, _disc = build_controlled(two_switch_topo)
+        net.run(0.2)
+        h1, h2 = net.get("h1"), net.get("h2")
+        result = h1.ping(h2.ip, count=3, interval=0.5)
+        net.run(3.0)
+        assert result.rtts[0] > result.rtts[-1]
+
+
+class TestDiscovery:
+    def test_inter_switch_link_found(self):
+        net, _nexus, _l2, discovery = build_controlled(two_switch_topo)
+        net.run(2.0)
+        assert discovery.links() == {(1, 2, 2, 1)} \
+            or discovery.links() == {(2, 1, 1, 2)}
+
+    def test_peer_of(self):
+        net, _nexus, _l2, discovery = build_controlled(two_switch_topo)
+        net.run(2.0)
+        peer = discovery.peer_of(1, 2)
+        assert peer == (2, 1)
+
+    def test_host_ports_not_links(self):
+        net, _nexus, _l2, discovery = build_controlled(two_switch_topo)
+        net.run(2.0)
+        # only the single switch-switch adjacency (both directions)
+        assert len(discovery.adjacency) == 2
+
+    def test_link_timeout_after_cut(self):
+        net, _nexus, _l2, discovery = build_controlled(two_switch_topo)
+        net.run(2.0)
+        assert discovery.adjacency
+        for link in net.links:
+            if link.intf1.node.name.startswith("s") \
+                    and link.intf2.node.name.startswith("s"):
+                link.set_up(False)
+        net.run(10.0)
+        assert not discovery.adjacency
+
+    def test_link_events_raised(self):
+        events = []
+        net, _nexus, _l2, discovery = build_controlled(two_switch_topo)
+        discovery.add_listener(LinkEvent, events.append)
+        net.run(2.0)
+        assert any(event.added for event in events)
+
+
+class TestSteering:
+    def _ready(self, mode="exact"):
+        net = Network()
+        core = Core(net.sim)
+        nexus = OpenFlowNexus(core)
+        steering = TrafficSteering(nexus, mode=mode)
+        two_switch_topo(net)
+        net.add_controller(nexus)
+        net.start()
+        net.run(0.1)
+        return net, steering
+
+    def test_exact_mode_one_flowmod_per_hop(self):
+        net, steering = self._ready("exact")
+        hops = [PathHop(1, 1, 2), PathHop(2, 1, 2)]
+        steering.install_path("p1", hops, Match(nw_src="10.0.0.1"))
+        assert steering.flow_mod_count("p1") == 2
+        net.run(0.1)
+        assert len(net.get("s1").datapath.table) == 1
+        assert len(net.get("s2").datapath.table) == 1
+
+    def test_vlan_mode_structure(self):
+        net, steering = self._ready("vlan")
+        hops = [PathHop(1, 1, 2), PathHop(2, 1, 2)]
+        steering.install_path("p1", hops, Match(nw_src="10.0.0.1"))
+        net.run(0.1)
+        s1_entry = net.get("s1").datapath.table.entries[0]
+        s2_entry = net.get("s2").datapath.table.entries[0]
+        from repro.openflow import SetVlan, StripVlan
+        assert any(isinstance(a, SetVlan) for a in s1_entry.actions)
+        assert any(isinstance(a, StripVlan) for a in s2_entry.actions)
+        assert s2_entry.match.dl_vlan is not None
+
+    def test_vlan_tags_unique_per_path(self):
+        net, steering = self._ready("vlan")
+        steering.install_path("p1", [PathHop(1, 1, 2), PathHop(2, 1, 2)],
+                              Match(nw_src="10.0.0.1"))
+        steering.install_path("p2", [PathHop(1, 2, 1), PathHop(2, 2, 1)],
+                              Match(nw_src="10.0.0.2"))
+        vlans = {installed.vlan
+                 for installed in steering.paths.values()}
+        assert len(vlans) == 2
+
+    def test_remove_path_clears_entries(self):
+        net, steering = self._ready("exact")
+        steering.install_path("p1", [PathHop(1, 1, 2)],
+                              Match(nw_src="10.0.0.1"))
+        net.run(0.1)
+        assert len(net.get("s1").datapath.table) == 1
+        steering.remove_path("p1")
+        net.run(0.1)
+        assert len(net.get("s1").datapath.table) == 0
+
+    def test_duplicate_path_id_rejected(self):
+        _net, steering = self._ready()
+        steering.install_path("p1", [PathHop(1, 1, 2)], Match())
+        with pytest.raises(SteeringError):
+            steering.install_path("p1", [PathHop(1, 1, 2)], Match())
+
+    def test_empty_hops_rejected(self):
+        _net, steering = self._ready()
+        with pytest.raises(SteeringError):
+            steering.install_path("p1", [], Match())
+
+    def test_unknown_switch_rejected(self):
+        _net, steering = self._ready()
+        with pytest.raises(SteeringError):
+            steering.install_path("p1", [PathHop(77, 1, 2)], Match())
+
+    def test_remove_unknown_rejected(self):
+        _net, steering = self._ready()
+        with pytest.raises(SteeringError):
+            steering.remove_path("ghost")
+
+    def test_vlan_released_on_removal(self):
+        _net, steering = self._ready("vlan")
+        steering.install_path("p1", [PathHop(1, 1, 2), PathHop(2, 1, 2)],
+                              Match(nw_src="10.0.0.1"))
+        first_vlan = steering.paths["p1"].vlan
+        steering.remove_path("p1")
+        steering.install_path("p2", [PathHop(1, 1, 2), PathHop(2, 1, 2)],
+                              Match(nw_src="10.0.0.2"))
+        assert steering.paths["p2"].vlan == first_vlan
+
+    def test_steering_beats_learning_priority(self):
+        from repro.pox.l2_learning import LEARNING_PRIORITY
+        from repro.pox.steering import STEERING_PRIORITY
+        assert STEERING_PRIORITY > LEARNING_PRIORITY
+
+    def test_bad_mode_rejected(self):
+        net = Network()
+        nexus = OpenFlowNexus(Core(net.sim))
+        with pytest.raises(SteeringError):
+            TrafficSteering(nexus, mode="quantum")
+
+
+class TestSteeringRestoration:
+    def _ready(self):
+        net = Network()
+        core = Core(net.sim)
+        nexus = OpenFlowNexus(core)
+        steering = TrafficSteering(nexus, mode="exact")
+        two_switch_topo(net)
+        net.add_controller(nexus)
+        net.start()
+        net.run(0.1)
+        return net, steering
+
+    def test_flushed_entry_is_reinstalled(self):
+        net, steering = self._ready()
+        steering.install_path("p1", [PathHop(1, 1, 2)],
+                              Match(nw_src="10.0.0.1"))
+        net.run(0.1)
+        switch = net.get("s1")
+        assert len(switch.datapath.table) == 1
+        # an operator flushes the table behind the controller's back
+        switch.datapath.table.delete(Match(), now=net.sim.now)
+        assert len(switch.datapath.table) == 0
+        net.run(0.5)  # FlowRemoved reaches steering; it re-installs
+        assert len(switch.datapath.table) == 1
+        assert steering.restorations == 1
+
+    def test_expired_entry_is_reinstalled(self):
+        net = Network()
+        core = Core(net.sim)
+        nexus = OpenFlowNexus(core)
+        steering = TrafficSteering(nexus, mode="exact",
+                                   hard_timeout=0.5)
+        two_switch_topo(net)
+        net.add_controller(nexus)
+        net.start()
+        net.run(0.1)
+        steering.install_path("p1", [PathHop(1, 1, 2)],
+                              Match(nw_src="10.0.0.1"))
+        net.run(3.0)  # several expiry+restore cycles
+        assert steering.restorations >= 2
+        assert len(net.get("s1").datapath.table) >= 1
+
+    def test_removed_path_is_not_restored(self):
+        net, steering = self._ready()
+        steering.install_path("p1", [PathHop(1, 1, 2)],
+                              Match(nw_src="10.0.0.1"))
+        net.run(0.1)
+        steering.remove_path("p1")
+        net.run(0.5)
+        assert len(net.get("s1").datapath.table) == 0
+        assert steering.restorations == 0
+
+    def test_restore_can_be_disabled(self):
+        net = Network()
+        core = Core(net.sim)
+        nexus = OpenFlowNexus(core)
+        steering = TrafficSteering(nexus, mode="exact", restore=False)
+        two_switch_topo(net)
+        net.add_controller(nexus)
+        net.start()
+        net.run(0.1)
+        steering.install_path("p1", [PathHop(1, 1, 2)],
+                              Match(nw_src="10.0.0.1"))
+        net.run(0.1)
+        switch = net.get("s1")
+        switch.datapath.table.delete(Match(), now=net.sim.now)
+        net.run(0.5)
+        assert len(switch.datapath.table) == 0

@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) on the core data structures."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.nffg import ResourceView
+from repro.netconf.framing import ChunkedFramer, EomFramer
+from repro.openflow import FlowEntry, FlowTable, Match, Output
+from repro.packet import Ethernet, IPv4, UDP
+from repro.sim import Simulator
+
+
+# -- simulator ordering -------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                          allow_nan=False), min_size=1, max_size=50))
+def test_simulator_fires_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=100.0,
+                                    allow_nan=False),
+                          st.booleans()),
+                min_size=1, max_size=40))
+def test_simulator_cancellation_is_exact(entries):
+    sim = Simulator()
+    fired = []
+    events = []
+    for index, (delay, cancel) in enumerate(entries):
+        events.append((sim.schedule(delay, fired.append, index), cancel))
+    for event, cancel in events:
+        if cancel:
+            event.cancel()
+    sim.run()
+    expected = {index for index, (_delay, cancel) in enumerate(entries)
+                if not cancel}
+    assert set(fired) == expected
+
+
+# -- flow table vs brute force ------------------------------------------
+
+
+def _random_match(rng):
+    kwargs = {}
+    if rng.random() < 0.5:
+        kwargs["in_port"] = rng.randint(1, 3)
+    if rng.random() < 0.5:
+        kwargs["nw_src"] = "10.0.0.%d" % rng.randint(1, 3)
+    if rng.random() < 0.5:
+        kwargs["tp_dst"] = rng.choice([80, 443])
+    return Match(**kwargs)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 32 - 1),
+       st.integers(min_value=1, max_value=3),
+       st.integers(min_value=1, max_value=3),
+       st.integers(min_value=0, max_value=1))
+@settings(max_examples=60)
+def test_flowtable_lookup_matches_brute_force(seed, in_port, host_octet,
+                                              port_choice):
+    rng = random.Random(seed)
+    table = FlowTable()
+    entries = []
+    for index in range(rng.randint(1, 10)):
+        entry = FlowEntry(_random_match(rng), [Output(index)],
+                          priority=rng.randint(0, 5))
+        table.add(entry)
+    # the table may have deduplicated (same match+priority replaces)
+    entries = table.entries
+    packet = Ethernet(
+        src="00:00:00:00:00:01", dst="00:00:00:00:00:02",
+        type=Ethernet.IP_TYPE,
+        payload=IPv4(srcip="10.0.0.%d" % host_octet, dstip="10.0.0.9",
+                     protocol=IPv4.UDP_PROTOCOL,
+                     payload=UDP(srcport=1111,
+                                 dstport=[80, 443][port_choice]))).pack()
+    result = table.lookup(packet, in_port, now=0.0)
+    brute = [entry for entry in entries
+             if entry.match.matches_packet(packet, in_port)]
+    if not brute:
+        assert result is None
+    else:
+        best_priority = max(entry.priority for entry in brute)
+        assert result is not None
+        assert result.priority == best_priority
+        assert result.match.matches_packet(packet, in_port)
+
+
+# -- framing under arbitrary segmentation -----------------------------------
+
+
+@given(st.lists(st.binary(min_size=1, max_size=60), min_size=1,
+                max_size=6),
+       st.lists(st.integers(min_value=1, max_value=64), max_size=30))
+def test_chunked_framer_survives_any_segmentation(payloads, cut_sizes):
+    tx, rx = ChunkedFramer(), ChunkedFramer()
+    stream = b"".join(tx.frame(payload) for payload in payloads)
+    received = []
+    position = 0
+    cuts = list(cut_sizes) or [len(stream)]
+    cut_index = 0
+    while position < len(stream):
+        size = cuts[cut_index % len(cuts)]
+        cut_index += 1
+        received.extend(rx.feed(stream[position:position + size]))
+        position += size
+    assert received == payloads
+
+
+@given(st.lists(st.binary(min_size=1, max_size=60).filter(
+    lambda data: b"]]>]]>" not in data), min_size=1, max_size=6),
+    st.integers(min_value=1, max_value=7))
+def test_eom_framer_survives_fixed_segmentation(payloads, chunk):
+    tx, rx = EomFramer(), EomFramer()
+    stream = b"".join(tx.frame(payload) for payload in payloads)
+    received = []
+    for start in range(0, len(stream), chunk):
+        received.extend(rx.feed(stream[start:start + chunk]))
+    assert received == payloads
+
+
+# -- resource view conservation -------------------------------------------
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.01, max_value=2.0),
+                          st.floats(min_value=1.0, max_value=512.0),
+                          st.integers(min_value=0, max_value=3)),
+                min_size=1, max_size=20))
+def test_resource_view_conservation(demands):
+    view = ResourceView()
+    view.add_container("nc", cpu=100.0, mem=100000.0, ports=100)
+    granted = []
+    for index, (cpu, mem, ports) in enumerate(demands):
+        if view.container_fits("nc", cpu, mem, ports):
+            view.reserve_container("nc", cpu, mem, ports)
+            granted.append((cpu, mem, ports))
+    data = view.graph.nodes["nc"]
+    assert data["cpu_used"] <= data["cpu"] + 1e-9
+    assert abs(data["cpu_used"] - sum(g[0] for g in granted)) < 1e-6
+    assert data["ports_used"] == sum(g[2] for g in granted)
+    for cpu, mem, ports in granted:
+        view.release_container("nc", cpu, mem, ports)
+    assert view.graph.nodes["nc"]["cpu_used"] < 1e-6
+    assert view.graph.nodes["nc"]["ports_used"] == 0
+
+
+@given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+@settings(max_examples=30)
+def test_shortest_path_is_optimal(seed):
+    """Dijkstra's result never beats a brute-force enumeration."""
+    import itertools
+    rng = random.Random(seed)
+    view = ResourceView()
+    names = ["s%d" % index for index in range(5)]
+    for index, name in enumerate(names):
+        view.add_switch(name, index + 1)
+    edges = []
+    for a, b in itertools.combinations(names, 2):
+        if rng.random() < 0.7:
+            delay = rng.uniform(0.001, 0.01)
+            view.add_link(a, b, delay=delay)
+            edges.append((a, b, delay))
+    path = view.shortest_path("s0", "s4")
+    if path is None:
+        return
+    found_delay = view.path_delay(path)
+    # brute force over all simple paths
+    import networkx as nx
+    best = min(view.path_delay(candidate) for candidate in
+               nx.all_simple_paths(view.graph, "s0", "s4"))
+    assert found_delay <= best + 1e-12
+
+
+# -- click packet paint roundtrip ------------------------------------------
+
+
+@given(st.binary(max_size=200), st.integers(min_value=0, max_value=255))
+def test_click_packet_clone_preserves_all(data, paint):
+    from repro.click import ClickPacket
+    packet = ClickPacket(data, timestamp=1.5)
+    packet.paint = paint
+    clone = packet.clone()
+    assert clone.data == data
+    assert clone.paint == paint
+    assert clone.timestamp == 1.5
+
+
+# -- match subset relation is consistent with matching ------------------------
+
+
+@given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+@settings(max_examples=60)
+def test_match_subset_implication(seed):
+    """If A.is_subset_of(B), every packet matching A also matches B."""
+    rng = random.Random(seed)
+    match_a = _random_match(rng)
+    match_b = _random_match(rng)
+    if not match_a.is_subset_of(match_b):
+        return
+    for in_port in (1, 2, 3):
+        for octet in (1, 2, 3):
+            for dport in (80, 443):
+                packet = Ethernet(
+                    type=Ethernet.IP_TYPE,
+                    payload=IPv4(srcip="10.0.0.%d" % octet,
+                                 dstip="10.0.0.9",
+                                 protocol=IPv4.UDP_PROTOCOL,
+                                 payload=UDP(srcport=1,
+                                             dstport=dport))).pack()
+                if match_a.matches_packet(packet, in_port):
+                    assert match_b.matches_packet(packet, in_port)

@@ -1,0 +1,295 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.sim import Process, Signal, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_callback_runs_at_scheduled_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.5]
+
+    def test_callbacks_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_equal_times_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(1.0, order.append, label)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_args_are_passed(self):
+        sim = Simulator()
+        result = []
+        sim.schedule(0.0, lambda a, b: result.append(a + b), 2, 3)
+        sim.run()
+        assert result == [5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        times = []
+        sim.schedule_at(5.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [5.0]
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        times = []
+
+        def first():
+            times.append(sim.now)
+            sim.schedule(1.0, second)
+
+        def second():
+            times.append(sim.now)
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert times == [1.0, 2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, True)
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.run() == 0
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        event.cancel()
+        assert sim.pending == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_the_clock_there(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim.now == 2.0
+        assert sim.pending == 1
+
+    def test_run_until_then_resume(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(5.0, lambda: times.append(sim.now))
+        sim.run(until=2.0)
+        assert times == []
+        sim.run()
+        assert times == [5.0]
+
+    def test_run_advances_to_until_with_empty_heap(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        count = []
+        for _ in range(10):
+            sim.schedule(1.0, count.append, 1)
+        executed = sim.run(max_events=3)
+        assert executed == 3
+        assert len(count) == 3
+
+    def test_step(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, out.append, "x")
+        assert sim.step() is True
+        assert out == ["x"]
+        assert sim.step() is False
+
+    def test_peek(self):
+        sim = Simulator()
+        assert sim.peek() is None
+        event = sim.schedule(3.0, lambda: None)
+        assert sim.peek() == 3.0
+        event.cancel()
+        assert sim.peek() is None
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(0.0, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_processed_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(0.5, lambda: None)
+        sim.run()
+        assert sim.processed == 4
+
+
+class TestProcess:
+    def test_yield_number_sleeps(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield 2.0
+            trace.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert trace == [0.0, 2.0]
+
+    def test_yield_none_resumes_immediately(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            yield None
+            trace.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert trace == [0.0]
+
+    def test_return_value_recorded(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            return 42
+
+        process = sim.process(proc())
+        sim.run()
+        assert process.done
+        assert process.result == 42
+
+    def test_wait_on_signal(self):
+        sim = Simulator()
+        signal = sim.signal()
+        got = []
+
+        def proc():
+            value = yield signal
+            got.append((sim.now, value))
+
+        sim.process(proc())
+        sim.schedule(3.0, signal.fire, "hello")
+        sim.run()
+        assert got == [(3.0, "hello")]
+
+    def test_signal_fire_is_idempotent(self):
+        sim = Simulator()
+        signal = sim.signal()
+        signal.fire("first")
+        signal.fire("second")
+        assert signal.value == "first"
+
+    def test_wait_on_already_fired_signal(self):
+        sim = Simulator()
+        signal = sim.signal()
+        signal.fire("early")
+        got = []
+
+        def proc():
+            value = yield signal
+            got.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["early"]
+
+    def test_wait_on_other_process(self):
+        sim = Simulator()
+        trace = []
+
+        def worker():
+            yield 2.0
+            return "done"
+
+        def waiter(target):
+            result = yield target
+            trace.append((sim.now, result))
+
+        target = sim.process(worker())
+        sim.process(waiter(target))
+        sim.run()
+        assert trace == [(2.0, "done")]
+
+    def test_interrupt_stops_process(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            yield 5.0
+            trace.append("should not happen")
+
+        process = sim.process(proc())
+        sim.schedule(1.0, process.interrupt)
+        sim.run()
+        assert trace == []
+        assert process.done
+
+    def test_bad_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not a valid target"
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_many_processes_interleave_deterministically(self):
+        sim = Simulator()
+        trace = []
+
+        def proc(name, period):
+            for _ in range(3):
+                yield period
+                trace.append((sim.now, name))
+
+        sim.process(proc("a", 1.0))
+        sim.process(proc("b", 1.5))
+        sim.run()
+        # at t=3.0 both fire; "b" scheduled its event first (at t=1.5,
+        # before "a" rescheduled at t=2.0), so it runs first.
+        assert trace == [(1.0, "a"), (1.5, "b"), (2.0, "a"), (3.0, "b"),
+                         (3.0, "a"), (4.5, "b")]
