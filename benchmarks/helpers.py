@@ -44,3 +44,10 @@ def started_escape(containers=2, container_ports=6, **kwargs):
         demo_topology(containers, container_ports, **kwargs))
     escape.start()
     return escape
+
+
+def attach_telemetry(benchmark, escape):
+    """Embed the framework's telemetry snapshot in the benchmark's
+    ``extra_info`` so BENCH_*.json trajectories carry counter data
+    alongside the timings."""
+    benchmark.extra_info["telemetry"] = escape.metrics_snapshot()

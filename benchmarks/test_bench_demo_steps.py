@@ -7,7 +7,8 @@ each step scales with its natural knob.
 
 import pytest
 
-from benchmarks.helpers import chain_sg, demo_topology, started_escape
+from benchmarks.helpers import (attach_telemetry, chain_sg, demo_topology,
+                                started_escape)
 from repro.core import ESCAPE
 from repro.core.sgfile import load_service_graph
 
@@ -76,6 +77,7 @@ def test_step3_map_and_deploy(benchmark, length):
         assert chain.active
         chain.undeploy()
     benchmark.pedantic(deploy_undeploy, rounds=5, iterations=1)
+    attach_telemetry(benchmark, escape)
 
 
 # -- step 4: live traffic through a deployed chain --------------------------------
@@ -92,6 +94,7 @@ def test_step4_traffic(benchmark):
         return result
     benchmark.pedantic(ping_train, rounds=5, iterations=1)
     assert int(chain.read_handler("v0", "cnt_in.count")) >= 25
+    attach_telemetry(benchmark, escape)
 
 
 def test_step4_udp_throughput(benchmark):
@@ -124,3 +127,4 @@ def test_step5_monitoring(benchmark, vnfs):
         escape.run(0.2)  # let replies land
     benchmark.pedantic(poll_round, rounds=5, iterations=1)
     assert monitor.poll_errors == 0
+    attach_telemetry(benchmark, escape)

@@ -3,7 +3,7 @@
 
 Scripted by default (so it runs under CI); pass ``--interactive`` for a
 real REPL.  Commands: nodes, net, links, dump, ping, pingall, flows,
-vnfs, resources.
+vnfs, resources, metrics, trace.
 
 Run:  python examples/interactive_cli.py [--interactive]
 """
@@ -52,6 +52,8 @@ SCRIPT = [
     "services",
     "catalog",
     "topology",
+    "metrics prom",
+    "trace",
 ]
 
 

@@ -94,6 +94,10 @@ class Element:
         self.outputs: List[Port] = []
         self._read_handlers: Dict[str, Callable[[], str]] = {}
         self._write_handlers: Dict[str, Callable[[str], None]] = {}
+        # per-element transfer counters (hot path: plain ints, pulled
+        # into the telemetry registry by a snapshot-time collector)
+        self.pushed_count = 0
+        self.pulled_count = 0
         self.add_read_handler("config", lambda: self.config)
         self.add_read_handler("class", lambda: type(self).__name__)
 
@@ -144,6 +148,7 @@ class Element:
         out = self.outputs[port]
         if out.peer is None:
             return  # unconnected output silently drops, like Idle
+        self.pushed_count += 1
         out.peer.element.push(out.peer.index, packet)
 
     def input_pull(self, port: int) -> Optional[ClickPacket]:
@@ -151,7 +156,10 @@ class Element:
         inp = self.inputs[port]
         if inp.peer is None:
             return None
-        return inp.peer.element.pull(inp.peer.index)
+        packet = inp.peer.element.pull(inp.peer.index)
+        if packet is not None:
+            self.pulled_count += 1
+        return packet
 
     # -- handlers ------------------------------------------------------------
 

@@ -211,6 +211,19 @@ class Router:
         return {name: element.handler_names()
                 for name, element in self.elements.items()}
 
+    # -- telemetry -------------------------------------------------------------
+
+    def transfer_counts(self) -> Tuple[int, int]:
+        """(total pushes, total pulls) across every element."""
+        pushes = sum(e.pushed_count for e in self.elements.values())
+        pulls = sum(e.pulled_count for e in self.elements.values())
+        return pushes, pulls
+
+    def element_counts(self) -> Dict[str, Tuple[int, int]]:
+        """Per-element (pushed, pulled) packet-transfer counters."""
+        return {name: (element.pushed_count, element.pulled_count)
+                for name, element in self.elements.items()}
+
     def flat_config(self) -> str:
         """Regenerate a canonical config string (Click's flatconfig)."""
         lines = []

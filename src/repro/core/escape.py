@@ -39,6 +39,8 @@ from repro.openflow import Match
 from repro.pox import (Core, Discovery, L2LearningSwitch, OpenFlowNexus,
                        StatsCollector, TrafficSteering)
 from repro.sim import Simulator
+from repro.telemetry import (Telemetry, set_current, to_json,
+                             to_prometheus, write_snapshot)
 
 
 class ESCAPE:
@@ -56,6 +58,10 @@ class ESCAPE:
         self.net = net
         net.serialize_openflow = of_wire
         self.sim: Simulator = net.sim
+        # One telemetry bundle per framework instance, clocked by the
+        # simulator.  Made *current* before any layer is constructed so
+        # every component below binds its instruments to this registry.
+        self.telemetry = set_current(Telemetry(self.sim))
         self.catalog = catalog or default_catalog()
 
         # orchestration layer: controller platform
@@ -138,7 +144,51 @@ class ESCAPE:
         }
         self.service_layer = ServiceLayer(self.orchestrator,
                                           self.mappers["shortest-path"])
+        self._m_service_deploys = self.telemetry.metrics.counter(
+            "service.layer.deploys", "service requests submitted")
+        self.telemetry.metrics.add_collector(self._collect_metrics)
         self.started = False
+
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector: pull the hot-path plain-int counters
+        of all three layers into registry gauges (zero per-event cost)."""
+        datapaths = [switch.datapath for switch in self.net.switches()]
+
+        def total(attr: str) -> int:
+            return sum(getattr(dp, attr) for dp in datapaths)
+
+        registry.gauge("openflow.switch.packet_ins").set(
+            total("packet_in_count"))
+        registry.gauge("openflow.switch.flow_mods").set(
+            total("flow_mod_count"))
+        registry.gauge("openflow.switch.forwarded").set(
+            total("forwarded_count"))
+        registry.gauge("openflow.switch.dropped").set(
+            total("dropped_count"))
+        registry.gauge("openflow.switch.table_hits").set(
+            total("table_hit_count"))
+        registry.gauge("openflow.switch.table_misses").set(
+            total("table_miss_count"))
+        registry.gauge("openflow.switch.flow_entries").set(
+            sum(len(dp.table) for dp in datapaths))
+        link_stats = self.net.link_stats()
+        registry.gauge("netem.link.delivered").set(
+            link_stats["delivered"])
+        registry.gauge("netem.link.dropped").set(link_stats["dropped"])
+        registry.gauge("netem.link.delivered_bytes").set(
+            link_stats["delivered_bytes"])
+        registry.gauge("netem.link.max_utilization").set(
+            link_stats["max_utilization"])
+        pushes = pulls = running = 0
+        for container in self.net.vnf_containers():
+            for process in container.vnfs.values():
+                running += 1
+                counts = process.router.transfer_counts()
+                pushes += counts[0]
+                pulls += counts[1]
+        registry.gauge("click.element.pushes").set(pushes)
+        registry.gauge("click.element.pulls").set(pulls)
+        registry.gauge("netem.container.running_vnfs").set(running)
 
     # -- construction -------------------------------------------------------
 
@@ -221,15 +271,22 @@ class ESCAPE:
         """Demo steps (2)+(3): take an SG and map+deploy it."""
         if not self.started:
             raise RuntimeError("call start() before deploying services")
-        if not isinstance(sg, ServiceGraph):
-            sg = load_service_graph(sg)
-        if isinstance(mapper, str):
-            if mapper not in self.mappers:
-                raise KeyError("unknown mapper %r (have: %s)"
-                               % (mapper, ", ".join(sorted(self.mappers))))
-            mapper = self.mappers[mapper]
-        request = ServiceRequest(sg, match=match, return_path=return_path)
-        return self.service_layer.submit(request, mapper)
+        tracer = self.telemetry.tracer
+        with tracer.span("service.deploy") as root:
+            with tracer.span("service.parse_sg"):
+                if not isinstance(sg, ServiceGraph):
+                    sg = load_service_graph(sg)
+            root.tags["service"] = sg.name
+            if isinstance(mapper, str):
+                if mapper not in self.mappers:
+                    raise KeyError(
+                        "unknown mapper %r (have: %s)"
+                        % (mapper, ", ".join(sorted(self.mappers))))
+                mapper = self.mappers[mapper]
+            self._m_service_deploys.inc()
+            request = ServiceRequest(sg, match=match,
+                                     return_path=return_path)
+            return self.service_layer.submit(request, mapper)
 
     def terminate_service(self, name: str) -> None:
         self.service_layer.terminate(name)
@@ -283,10 +340,37 @@ class ESCAPE:
             "discovered_links": len(self.discovery.links()),
         }
 
+    # -- telemetry ------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """The unified metrics snapshot (all three layers)."""
+        return self.telemetry.metrics.snapshot()
+
+    def export_metrics(self, fmt: str = "json",
+                       path: Optional[str] = None) -> str:
+        """Serialize the telemetry snapshot as ``json`` or ``prom``
+        text; optionally write it to ``path``.  Returns the text."""
+        if path is not None:
+            return write_snapshot(path, self.telemetry.metrics,
+                                  self.telemetry.tracer, fmt=fmt)
+        if fmt == "json":
+            return to_json(self.telemetry.metrics, self.telemetry.tracer)
+        if fmt in ("prom", "prometheus"):
+            return to_prometheus(self.telemetry.metrics)
+        raise ValueError("unknown export format %r (json or prom)" % fmt)
+
+    def last_trace(self):
+        """The most recent chain-deployment trace tree (root Span), or
+        None.  Sampled dataplane packet spans are skipped."""
+        for trace in reversed(self.telemetry.tracer.traces):
+            if trace.name == "service.deploy":
+                return trace
+        return None
+
     def cli(self) -> CLI:
         """The interactive console: Mininet-style network commands plus
         ESCAPE service commands (services / deploy / undeploy / migrate
-        / topology)."""
+        / topology / metrics / trace)."""
         console = CLI(self.net)
         console.commands.update({
             "services": self._cli_services,
@@ -296,6 +380,8 @@ class ESCAPE:
             "topology": self._cli_topology,
             "catalog": self._cli_catalog,
             "status": self._cli_status,
+            "metrics": self._cli_metrics,
+            "trace": self._cli_trace,
         })
         return console
 
@@ -354,6 +440,22 @@ class ESCAPE:
     def _cli_status(self, args) -> str:
         import json
         return json.dumps(self.status(), indent=2, sort_keys=True)
+
+    def _cli_metrics(self, args) -> str:
+        fmt = args[0] if args else "json"
+        if fmt not in ("json", "prom", "prometheus"):
+            return "usage: metrics [json|prom] [output-file]"
+        path = args[1] if len(args) > 1 else None
+        text = self.export_metrics(fmt, path)
+        if path is not None:
+            return "wrote %s snapshot to %s" % (fmt, path)
+        return text
+
+    def _cli_trace(self, args) -> str:
+        trace = self.last_trace()
+        if trace is None:
+            return "no deployment trace recorded yet"
+        return trace.render()
 
     def _cli_catalog(self, args) -> str:
         lines = []

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 from repro.core.catalog import VNFCatalog
 from repro.core.nffg import ResourceView, ServiceGraph
+from repro.telemetry import current as current_telemetry
 
 
 class MappingError(Exception):
@@ -70,6 +71,15 @@ class Mapper:
 
     def __init__(self, catalog: VNFCatalog):
         self.catalog = catalog
+        metrics = current_telemetry().metrics
+        self._m_placement_attempts = metrics.counter(
+            "core.mapping.placement_attempts",
+            "container candidates examined during placement")
+        self._m_accepted = metrics.counter(
+            "core.mapping.accepted", "mappings committed to the view")
+        self._m_backtrack_steps = metrics.counter(
+            "core.mapping.backtrack_steps",
+            "search-tree nodes visited by the backtracking mapper")
 
     def map(self, sg: ServiceGraph, view: ResourceView) -> Mapping:
         raise NotImplementedError
@@ -93,8 +103,7 @@ class Mapper:
             return name  # SAPs use their own substrate name
         return placement[name]
 
-    @staticmethod
-    def _commit(mapping: Mapping, view: ResourceView,
+    def _commit(self, mapping: Mapping, view: ResourceView,
                 reservations: List[tuple], paths: List[tuple]) -> None:
         """Apply reservations; on failure roll back and raise."""
         done_containers: List[tuple] = []
@@ -112,6 +121,7 @@ class Mapper:
             for container, cpu, mem, ports in done_containers:
                 view.release_container(container, cpu, mem, ports)
             raise MappingError(str(exc))
+        self._m_accepted.inc()
 
     def release(self, mapping: Mapping, view: ResourceView) -> None:
         """Undo a mapping's reservations (chain teardown)."""
@@ -144,6 +154,7 @@ class GreedyMapper(Mapper):
             cpu, mem, ports = self.demand_of(sg, vnf_name)
             chosen = None
             for container in trial.containers():
+                self._m_placement_attempts.inc()
                 if trial.container_fits(container, cpu, mem, ports):
                     chosen = container
                     break
@@ -192,6 +203,7 @@ class ShortestPathMapper(Mapper):
             best = None
             best_delay = None
             for container in trial.containers():
+                self._m_placement_attempts.inc()
                 if not trial.container_fits(container, cpu, mem, ports):
                     continue
                 if anchor is None:
@@ -321,6 +333,7 @@ class CongestionAwareMapper(ShortestPathMapper):
             best = None
             best_cost = None
             for container in trial.containers():
+                self._m_placement_attempts.inc()
                 if not trial.container_fits(container, cpu, mem, ports):
                     continue
                 if anchor is None:
@@ -375,7 +388,10 @@ class BacktrackingMapper(ShortestPathMapper):
         sg.validate()
         order = self._topological_vnfs(sg)
         self._steps = 0
-        best = self._search(sg, view.copy(), order, 0, {}, None)
+        try:
+            best = self._search(sg, view.copy(), order, 0, {}, None)
+        finally:
+            self._m_backtrack_steps.inc(self._steps)
         if best is None:
             raise MappingError("backtracking found no feasible embedding")
         placement, _cost = best

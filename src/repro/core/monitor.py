@@ -39,8 +39,17 @@ class VNFMonitor:
         self.series: Dict[tuple, List[MonitorSample]] = {}
         self._watch: List[tuple] = []
         self._task = None
-        self.polls = 0
-        self.poll_errors = 0
+        # polls/poll_errors live in the metrics registry now; the
+        # properties below keep the old attributes working
+        # (per-instance, via baseline offsets on the shared counters)
+        metrics = chain.orchestrator.telemetry.metrics
+        self._m_polls = metrics.counter(
+            "core.monitor.polls", "getVNFInfo handler polls issued")
+        self._m_poll_errors = metrics.counter(
+            "core.monitor.poll_errors", "handler polls answered with "
+            "rpc-error")
+        self._polls_base = self._m_polls.value
+        self._poll_errors_base = self._m_poll_errors.value
         self.running = False
         self._callbacks: List[Callable] = []
 
@@ -91,13 +100,13 @@ class VNFMonitor:
         if deployed is None:
             return
         client = self.chain.orchestrator.netconf_client(deployed.container)
-        self.polls += 1
+        self._m_polls.inc()
         pending = client.rpc("getVNFInfo", VNF_NS,
                              {"id": deployed.vnf_id, "handler": handler})
 
         def record(reply_handle, key=(vnf_name, handler)):
             if reply_handle.error is not None:
-                self.poll_errors += 1
+                self._m_poll_errors.inc()
                 return
             value_el = reply_handle.reply.find(qn("value", VNF_NS))
             sample = MonitorSample(self.sim.now,
@@ -108,6 +117,16 @@ class VNFMonitor:
                 callback(key[0], key[1], sample)
 
         pending.on_done(record)
+
+    # -- compat counter attributes -------------------------------------------
+
+    @property
+    def polls(self) -> int:
+        return int(self._m_polls.value - self._polls_base)
+
+    @property
+    def poll_errors(self) -> int:
+        return int(self._m_poll_errors.value - self._poll_errors_base)
 
     # -- queries ------------------------------------------------------------
 

@@ -26,6 +26,7 @@ from repro.netem.node import Host, Switch
 from repro.openflow import Match
 from repro.packet import Ethernet
 from repro.pox.steering import PathHop, TrafficSteering
+from repro.telemetry import current as current_telemetry
 
 
 class OrchestratorError(Exception):
@@ -200,6 +201,23 @@ class Orchestrator:
         self.deployed: Dict[str, DeployedChain] = {}
         self._vnf_counter = 0
         self._path_counter = 0
+        self.telemetry = current_telemetry()
+        metrics = self.telemetry.metrics
+        self._m_deploys = metrics.counter(
+            "core.orchestrator.deploys", "chains deployed successfully")
+        self._m_deploy_failures = metrics.counter(
+            "core.orchestrator.deploy_failures",
+            "deploy attempts that raised (mapping or realization)")
+        self._m_migrations = metrics.counter(
+            "core.orchestrator.migrations", "VNF migrations completed")
+        self._m_map_calls = metrics.counter(
+            "core.mapping.map_calls", "mapper invocations")
+        self._m_map_rejected = metrics.counter(
+            "core.mapping.rejected", "mapper invocations raising "
+            "MappingError")
+        self._m_deploy_time = metrics.histogram(
+            "core.orchestrator.deploy_time",
+            "simulated seconds per successful deploy")
 
     def netconf_client(self, container_name: str) -> NetconfClient:
         client = self._clients.get(container_name)
@@ -225,32 +243,53 @@ class Orchestrator:
             raise OrchestratorError("service %r already deployed" % sg.name)
         if return_path not in ("direct", "none", "chain"):
             raise OrchestratorError("bad return_path %r" % return_path)
-        mapping = mapper.map(sg, self.view)  # raises MappingError
-        vnfs: Dict[str, DeployedVNF] = {}
-        path_ids: List[str] = []
-        segment_paths: Dict[tuple, str] = {}
-        try:
-            for vnf_name in sg.vnfs:
-                vnfs[vnf_name] = self._start_vnf(sg, mapping, vnf_name)
-            base_match = match if match is not None \
-                else self._default_match(sg)
-            for link in sg.links:
-                path_id = self._install_segment(
-                    sg, mapping, vnfs, link, base_match)
-                path_ids.append(path_id)
-                segment_paths[(link.src, link.dst)] = path_id
-            if return_path == "direct":
-                path_ids.extend(self._install_return_path(sg, base_match))
-            elif return_path == "chain":
-                path_ids.extend(self._install_chain_return(
-                    sg, mapping, vnfs, base_match))
-        except Exception:
-            self._rollback(sg, mapping, mapper, vnfs, path_ids)
-            raise
+        tracer = self.telemetry.tracer
+        started_at = self.net.sim.now
+        with tracer.span("orchestrator.deploy", service=sg.name,
+                         mapper=mapper.name):
+            self._m_map_calls.inc()
+            with tracer.span("orchestrator.map", mapper=mapper.name):
+                try:
+                    mapping = mapper.map(sg, self.view)
+                except MappingError:
+                    self._m_map_rejected.inc()
+                    self._m_deploy_failures.inc()
+                    raise
+            vnfs: Dict[str, DeployedVNF] = {}
+            path_ids: List[str] = []
+            segment_paths: Dict[tuple, str] = {}
+            try:
+                for vnf_name in sg.vnfs:
+                    with tracer.span("orchestrator.start_vnf",
+                                     vnf=vnf_name):
+                        vnfs[vnf_name] = self._start_vnf(sg, mapping,
+                                                         vnf_name)
+                base_match = match if match is not None \
+                    else self._default_match(sg)
+                for link in sg.links:
+                    with tracer.span("orchestrator.install_segment",
+                                     segment="%s->%s" % (link.src,
+                                                         link.dst)):
+                        path_id = self._install_segment(
+                            sg, mapping, vnfs, link, base_match)
+                    path_ids.append(path_id)
+                    segment_paths[(link.src, link.dst)] = path_id
+                if return_path == "direct":
+                    path_ids.extend(self._install_return_path(sg,
+                                                              base_match))
+                elif return_path == "chain":
+                    path_ids.extend(self._install_chain_return(
+                        sg, mapping, vnfs, base_match))
+            except Exception:
+                self._m_deploy_failures.inc()
+                self._rollback(sg, mapping, mapper, vnfs, path_ids)
+                raise
         chain = DeployedChain(self, sg, mapping, mapper, vnfs, path_ids,
                               segment_paths)
         chain.base_match = base_match
         self.deployed[sg.name] = chain
+        self._m_deploys.inc()
+        self._m_deploy_time.observe(self.net.sim.now - started_at)
         return chain
 
     # -- VNF lifecycle over NETCONF -------------------------------------------
@@ -267,11 +306,14 @@ class Orchestrator:
         cpu, mem = (vnf.cpu if vnf.cpu is not None else entry.cpu,
                     vnf.mem if vnf.mem is not None else entry.mem)
         config = entry.render(vnf.params)
-        client.rpc("startVNF", VNF_NS, {
-            "id": vnf_id, "click-config": config,
-            "devices": ",".join(entry.devices),
-            "cpu": str(cpu), "mem": str(mem),
-        }).result(self.net.sim)
+        tracer = self.telemetry.tracer
+        with tracer.span("netconf.rpc", op="startVNF",
+                         container=container_name):
+            client.rpc("startVNF", VNF_NS, {
+                "id": vnf_id, "click-config": config,
+                "devices": ",".join(entry.devices),
+                "cpu": str(cpu), "mem": str(mem),
+            }).result(self.net.sim)
         device_interfaces: Dict[str, str] = {}
         try:
             free = container.free_interfaces()
@@ -281,10 +323,12 @@ class Orchestrator:
                         "container %r has no free interface for %s.%s"
                         % (container_name, vnf_name, device))
                 intf_name = free.pop(0)
-                client.rpc("connectVNF", VNF_NS, {
-                    "id": vnf_id, "device": device,
-                    "interface": intf_name,
-                }).result(self.net.sim)
+                with tracer.span("netconf.rpc", op="connectVNF",
+                                 container=container_name):
+                    client.rpc("connectVNF", VNF_NS, {
+                        "id": vnf_id, "device": device,
+                        "interface": intf_name,
+                    }).result(self.net.sim)
                 device_interfaces[device] = intf_name
         except Exception:
             # the VNF already runs: stop it so a failed deploy leaves
@@ -513,6 +557,7 @@ class Orchestrator:
         old_client.rpc("stopVNF", VNF_NS,
                        {"id": deployed.vnf_id}).result(self.net.sim)
         self.view.release_container(old_placement, cpu, mem, ports)
+        self._m_migrations.inc()
 
     def _reroute_segments(self, chain: DeployedChain,
                           vnf_name: str) -> None:

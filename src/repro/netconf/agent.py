@@ -21,6 +21,7 @@ from repro.netconf.vnf_yang import VNF_NS, VNF_YANG
 from repro.netconf.yang import ValidationError, compile_module, parse_yang
 from repro.netem.resources import ResourceError
 from repro.netem.vnf import VNFContainer
+from repro.telemetry import current as current_telemetry
 
 CAP_VNF = "urn:escape:capability:vnf:1.0"
 
@@ -43,6 +44,12 @@ class VNFAgent:
             self.server.register_rpc(
                 rpc_name,
                 lambda op, name=rpc_name: self._invoke(name, op))
+        metrics = current_telemetry().metrics
+        self._m_rpcs = metrics.counter(
+            "netconf.agent.rpcs", "custom RPCs handled by VNF agents")
+        self._m_rpc_errors = metrics.counter(
+            "netconf.agent.rpc_errors",
+            "agent RPCs rejected (validation or operation failure)")
         # operational state is served through <get>: regenerate on demand
         self._install_state_hook()
 
@@ -60,9 +67,11 @@ class VNFAgent:
 
     def _invoke(self, name: str,
                 operation: ET.Element) -> Optional[List[ET.Element]]:
+        self._m_rpcs.inc()
         try:
             self.module.validate_rpc_input(name, operation)
         except ValidationError as exc:
+            self._m_rpc_errors.inc()
             raise RpcError(error_type="application", tag="invalid-value",
                            message=str(exc))
         params = {local_name(child.tag): (child.text or "").strip()
@@ -71,6 +80,7 @@ class VNFAgent:
             return getattr(self, "_rpc_%s" % name)(params)
         except (ValueError, ResourceError, HandlerError,
                 ClickError) as exc:
+            self._m_rpc_errors.inc()
             raise RpcError(error_type="application",
                            tag="operation-failed", message=str(exc))
 

@@ -9,6 +9,7 @@ from repro.netconf.framing import ChunkedFramer, EomFramer
 from repro.netconf import messages as nc
 from repro.netconf.transport import InMemoryTransport
 from repro.sim import Simulator
+from repro.telemetry import current as current_telemetry
 
 
 class PendingReply:
@@ -22,6 +23,7 @@ class PendingReply:
 
     def __init__(self, message_id: int):
         self.message_id = message_id
+        self.sent_at: Optional[float] = None
         self.done = False
         self.reply: Optional[ET.Element] = None
         self.error: Optional[RpcError] = None
@@ -76,6 +78,14 @@ class NetconfClient:
         self._pending: Dict[int, PendingReply] = {}
         self.closed = False
         self.rpcs_sent = 0
+        metrics = current_telemetry().metrics
+        self._m_rpcs = metrics.counter(
+            "netconf.client.rpcs", "RPCs issued by the orchestrator")
+        self._m_rpc_errors = metrics.counter(
+            "netconf.client.rpc_errors", "rpc-replies carrying rpc-error")
+        self._m_rpc_latency = metrics.histogram(
+            "netconf.client.rpc_latency",
+            "simulated request-to-reply seconds")
         transport.set_receiver(self._receive)
         self.transport.send(self._tx_framer.frame(
             nc.to_xml(nc.build_hello(self.capabilities))))
@@ -109,7 +119,12 @@ class NetconfClient:
             return  # unsolicited error without id: nothing to match
         pending = self._pending.pop(int(message_id_text), None)
         if pending is not None:
+            sent_at = getattr(pending, "sent_at", None)
+            if sent_at is not None:
+                self._m_rpc_latency.observe(self.sim.now - sent_at)
             pending._resolve(root)
+            if pending.error is not None:
+                self._m_rpc_errors.inc()
 
     # -- rpc issue ------------------------------------------------------------
 
@@ -122,8 +137,10 @@ class NetconfClient:
                                "(run the simulator first)")
         message_id = next(self._message_ids)
         pending = PendingReply(message_id)
+        pending.sent_at = self.sim.now
         self._pending[message_id] = pending
         self.rpcs_sent += 1
+        self._m_rpcs.inc()
         self.transport.send(self._tx_framer.frame(
             nc.to_xml(nc.build_rpc(message_id, operation))))
         return pending

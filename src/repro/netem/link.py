@@ -60,6 +60,7 @@ class Link:
         self._dir2 = _Direction()  # intf2 -> intf1
         self.dropped = 0
         self.delivered = 0
+        self.delivered_bytes = 0
         intf1.link = self
         intf2.link = self
 
@@ -107,6 +108,7 @@ class Link:
             self.dropped += 1
             return
         self.delivered += 1
+        self.delivered_bytes += len(data)
         target.deliver(data)
 
     def __repr__(self) -> str:

@@ -235,6 +235,29 @@ class Network:
 
     # -- diagnostics ----------------------------------------------------------
 
+    def link_stats(self) -> Dict[str, float]:
+        """Aggregate link telemetry: delivery/drop totals and the peak
+        utilisation across finite-bandwidth links (delivered bits over
+        elapsed simulated time, as a fraction of link capacity)."""
+        delivered = dropped = delivered_bytes = 0
+        max_utilization = 0.0
+        elapsed = self.sim.now
+        for link in self.links:
+            delivered += link.delivered
+            dropped += link.dropped
+            delivered_bytes += link.delivered_bytes
+            if link.bandwidth and elapsed > 0:
+                utilization = (link.delivered_bytes * 8.0
+                               / (elapsed * link.bandwidth))
+                if utilization > max_utilization:
+                    max_utilization = utilization
+        return {
+            "delivered": delivered,
+            "dropped": dropped,
+            "delivered_bytes": delivered_bytes,
+            "max_utilization": max_utilization,
+        }
+
     def ping_all(self, timeout: float = 5.0) -> Tuple[int, int]:
         """Ping between every ordered host pair (Mininet's pingall).
 

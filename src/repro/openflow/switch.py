@@ -10,6 +10,7 @@ from repro.openflow import messages as msg
 from repro.packet import Ethernet
 from repro.packet.base import PacketError
 from repro.sim import Simulator
+from repro.telemetry import current as current_telemetry
 
 # OF 1.0 virtual port numbers.
 OFPP_IN_PORT = 0xFFF8
@@ -79,6 +80,7 @@ class OpenFlowSwitch:
     """
 
     EXPIRY_INTERVAL = 0.5  # seconds between timeout sweeps
+    SAMPLE_EVERY = 256  # trace one packet span per this many (0: off)
 
     def __init__(self, sim: Simulator, dpid: int, name: str = "",
                  n_buffers: int = 256, miss_send_len: int = 128):
@@ -93,11 +95,15 @@ class OpenFlowSwitch:
         self._buffers: Dict[int, tuple] = {}
         self._next_buffer = 1
         self._expiry_task = None
-        # counters for benchmarks
+        # plain-int counters: this is the hot path, so telemetry pulls
+        # them through a registry collector instead of per-event calls
         self.packet_in_count = 0
         self.flow_mod_count = 0
         self.forwarded_count = 0
         self.dropped_count = 0
+        self.table_hit_count = 0
+        self.table_miss_count = 0
+        self._pkt_seq = 0
 
     # -- ports ----------------------------------------------------------------
 
@@ -157,10 +163,24 @@ class OpenFlowSwitch:
 
     def process_packet(self, in_port: int, data: bytes) -> None:
         """Run one frame through the flow table."""
+        seq = self._pkt_seq
+        self._pkt_seq = seq + 1
+        if self.SAMPLE_EVERY and seq % self.SAMPLE_EVERY == 0:
+            # sampled dataplane span (1 in SAMPLE_EVERY packets)
+            with current_telemetry().tracer.span(
+                    "openflow.packet", switch=self.name,
+                    in_port=in_port, bytes=len(data)):
+                self._process_packet(in_port, data)
+        else:
+            self._process_packet(in_port, data)
+
+    def _process_packet(self, in_port: int, data: bytes) -> None:
         entry = self.table.lookup(data, in_port, self.sim.now)
         if entry is None:
+            self.table_miss_count += 1
             self._table_miss(in_port, data)
             return
+        self.table_hit_count += 1
         entry.note_hit(len(data), self.sim.now)
         self._execute(entry.actions, data, in_port)
 

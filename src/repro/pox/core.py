@@ -3,6 +3,7 @@
 from typing import Any, Dict, Optional
 
 from repro.sim import Simulator
+from repro.telemetry import current as current_telemetry
 
 
 class Core:
@@ -16,6 +17,8 @@ class Core:
     def __init__(self, sim: Optional[Simulator] = None):
         self.sim = sim or Simulator()
         self._components: Dict[str, Any] = {}
+        # the telemetry bundle POX-side components report into
+        self.telemetry = current_telemetry()
 
     def register(self, name: str, component: Any) -> Any:
         if name in self._components:

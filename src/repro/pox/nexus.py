@@ -56,6 +56,11 @@ class OpenFlowNexus(EventMixin):
         super().__init__()
         self.core = core
         self.connections: Dict[int, Connection] = {}
+        metrics = core.telemetry.metrics
+        self._m_packet_in = metrics.counter(
+            "pox.nexus.packet_in", "PacketIn messages received")
+        self._m_messages = metrics.counter(
+            "pox.nexus.messages", "control messages dispatched")
 
     # Network.add_controller calls this for each switch.
     def accept_connection(self, channel: ControllerChannel) -> Connection:
@@ -80,6 +85,9 @@ class OpenFlowNexus(EventMixin):
     # -- message dispatch ---------------------------------------------------
 
     def _dispatch(self, connection: Connection, message) -> None:
+        self._m_messages.inc()
+        if isinstance(message, PacketIn):
+            self._m_packet_in.inc()
         if isinstance(message, Hello):
             connection.send(Hello())
             connection.send(FeaturesRequest())

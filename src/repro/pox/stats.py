@@ -45,7 +45,12 @@ class StatsCollector:
         # (dpid, port_no) -> [previous, latest] PortSample
         self._port_samples: Dict[Tuple[int, int], List[PortSample]] = {}
         self._flow_stats: Dict[int, list] = {}
-        self.poll_rounds = 0
+        # poll_rounds lives in the metrics registry now; the property
+        # below keeps the old attribute working (per-instance, via a
+        # baseline offset, since the registry counter may be shared)
+        self._m_poll_rounds = nexus.core.telemetry.metrics.counter(
+            "pox.stats.poll_rounds", "OF statistics polling rounds")
+        self._poll_rounds_base = self._m_poll_rounds.value
         self._started = False
         self._task = None
         nexus.add_listener(ConnectionUp, self._handle_connection_up)
@@ -63,8 +68,13 @@ class StatsCollector:
             self._task = None
         self._started = False
 
+    @property
+    def poll_rounds(self) -> int:
+        """Polling rounds run by *this* collector (compat attribute)."""
+        return int(self._m_poll_rounds.value - self._poll_rounds_base)
+
     def _poll_round(self) -> None:
-        self.poll_rounds += 1
+        self._m_poll_rounds.inc()
         for connection in list(self.nexus.connections.values()):
             connection.send(PortStatsRequest())
             connection.send(FlowStatsRequest())

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 from repro.openflow import (FlowMod, Match, Output, SetVlan, StripVlan)
 from repro.pox.nexus import OpenFlowNexus
+from repro.telemetry import current as current_telemetry
 
 STEERING_PRIORITY = 0x6000  # above l2_learning's 0x1000
 
@@ -85,8 +86,20 @@ class TrafficSteering:
         self.restore = restore
         self.paths: Dict[str, _InstalledPath] = {}
         self._vlans_in_use: set = set()
+        # benchmarks assert exact values on these plain ints; the
+        # registry counters below mirror them for unified snapshots
         self.flow_mods_sent = 0
         self.restorations = 0
+        self.telemetry = current_telemetry()
+        metrics = self.telemetry.metrics
+        self._m_flow_mods = metrics.counter(
+            "pox.steering.flow_mods", "flow-mods sent by traffic steering")
+        self._m_restorations = metrics.counter(
+            "pox.steering.restorations",
+            "self-healing re-installs after FlowRemoved")
+        self._m_paths = metrics.gauge(
+            "pox.steering.paths", "steered paths currently installed")
+        self._m_paths.set_function(lambda: len(self.paths))
         if restore:
             from repro.pox.events import FlowRemovedEvent
             nexus.add_listener(FlowRemovedEvent,
@@ -106,6 +119,8 @@ class TrafficSteering:
                 self.nexus.send(dpid, flow_mod)
                 self.flow_mods_sent += 1
                 self.restorations += 1
+                self._m_flow_mods.inc()
+                self._m_restorations.inc()
                 return
 
     # -- path installation -------------------------------------------------
@@ -131,9 +146,14 @@ class TrafficSteering:
         else:
             vlan = None
             flow_mods = self._exact_flow_mods(hops, match)
-        for dpid, flow_mod in flow_mods:
-            self.nexus.send(dpid, flow_mod)
-            self.flow_mods_sent += 1
+        tracer = self.telemetry.tracer
+        with tracer.span("steering.install_path", path=path_id,
+                         mode=self.mode, hops=len(hops)):
+            for dpid, flow_mod in flow_mods:
+                with tracer.span("openflow.flow_mod", dpid=dpid):
+                    self.nexus.send(dpid, flow_mod)
+                self.flow_mods_sent += 1
+                self._m_flow_mods.inc()
         self.paths[path_id] = _InstalledPath(path_id, list(hops),
                                              flow_mods, vlan)
 
@@ -199,6 +219,7 @@ class TrafficSteering:
                 flow_mod.match, command=FlowMod.DELETE_STRICT,
                 priority=flow_mod.priority))
             self.flow_mods_sent += 1
+            self._m_flow_mods.inc()
         if installed.vlan is not None:
             self._vlans_in_use.discard(installed.vlan)
 

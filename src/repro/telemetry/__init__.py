@@ -1,0 +1,62 @@
+"""repro.telemetry — unified metrics & tracing across the UNIFY layers.
+
+One :class:`Telemetry` bundle pairs a :class:`MetricsRegistry` with a
+:class:`Tracer`, both reading the same clock.  The ESCAPE facade
+creates a bundle bound to its simulator (``Simulator.now``) and makes
+it *current*; components grab handles at construction time via
+:func:`current` (or lazily, on hot paths).
+
+Metric names follow ``layer.component.name`` — e.g.
+``netconf.client.rpc_latency`` or ``core.mapping.placement_attempts``
+— so one snapshot shows all three layers side by side.
+"""
+
+from typing import Callable, Optional
+
+from repro.telemetry.export import (snapshot_dict, to_json, to_prometheus,
+                                    write_snapshot)
+from repro.telemetry.metrics import (Counter, Gauge, Histogram, Metric,
+                                     MetricError, MetricsRegistry)
+from repro.telemetry.trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Metric", "MetricError",
+    "MetricsRegistry", "NULL_SPAN", "Span", "Telemetry", "Tracer",
+    "current", "set_current", "snapshot_dict", "to_json",
+    "to_prometheus", "write_snapshot",
+]
+
+
+class Telemetry:
+    """A metrics registry and a tracer sharing one clock."""
+
+    def __init__(self, sim=None, max_traces: int = 16):
+        self.sim = sim
+        clock: Optional[Callable[[], float]] = (
+            (lambda: sim.now) if sim is not None else None)
+        self.metrics = MetricsRegistry(clock=clock)
+        self.tracer = Tracer(clock=clock, max_traces=max_traces)
+
+    def snapshot(self):
+        return snapshot_dict(self.metrics, self.tracer)
+
+    def __repr__(self) -> str:
+        return "Telemetry(%d metrics, %d traces)" % (
+            len(self.metrics), len(self.tracer.traces))
+
+
+# The current bundle.  Components constructed outside an ESCAPE facade
+# (unit tests, standalone simulations) share this default instance.
+_current = Telemetry()
+
+
+def current() -> Telemetry:
+    """The telemetry bundle new components should bind to."""
+    return _current
+
+
+def set_current(telemetry: Telemetry) -> Telemetry:
+    """Install ``telemetry`` as current; returns it for chaining."""
+    global _current
+    _current = telemetry
+    return telemetry

@@ -1,0 +1,83 @@
+"""Telemetry exporters: JSON snapshots and Prometheus text format.
+
+Both formats are pure functions of the registry (and optionally the
+tracer), so exporting twice without advancing the simulation yields
+byte-identical output — snapshots can be diffed across runs.
+"""
+
+import json
+import re
+from typing import Any, Dict, Optional
+
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+from repro.telemetry.trace import Tracer
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def snapshot_dict(registry: MetricsRegistry,
+                  tracer: Optional[Tracer] = None) -> Dict[str, Any]:
+    """The canonical snapshot structure both exporters build on."""
+    data: Dict[str, Any] = {
+        "time": registry.clock(),
+        "metrics": registry.snapshot(),
+    }
+    if tracer is not None:
+        data["traces"] = [trace.to_dict() for trace in tracer.traces]
+    return data
+
+
+def to_json(registry: MetricsRegistry, tracer: Optional[Tracer] = None,
+            indent: Optional[int] = 2) -> str:
+    return json.dumps(snapshot_dict(registry, tracer), indent=indent,
+                      sort_keys=True)
+
+
+def prometheus_name(name: str) -> str:
+    """``layer.component.name`` -> ``layer_component_name``."""
+    return _PROM_BAD.sub("_", name)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus exposition text: counters and gauges as-is,
+    histograms as summaries (quantile series plus _count/_sum)."""
+    registry.collect()
+    lines = []
+    for metric in registry.metrics():
+        name = prometheus_name(metric.name)
+        if metric.help:
+            lines.append("# HELP %s %s" % (name, metric.help))
+        if isinstance(metric, Histogram):
+            lines.append("# TYPE %s summary" % name)
+            for quantile in (0.5, 0.9, 0.99):
+                value = metric.percentile(quantile * 100)
+                if value is not None:
+                    lines.append('%s{quantile="%g"} %s'
+                                 % (name, quantile, _fmt(value)))
+            lines.append("%s_count %d" % (name, metric.count))
+            lines.append("%s_sum %s" % (name, _fmt(metric.sum)))
+        else:
+            lines.append("# TYPE %s %s" % (name, metric.kind))
+            lines.append("%s %s" % (name, _fmt(metric.value)))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def write_snapshot(path: str, registry: MetricsRegistry,
+                   tracer: Optional[Tracer] = None,
+                   fmt: str = "json") -> str:
+    """Write a snapshot to ``path``; returns the serialized text."""
+    if fmt == "json":
+        text = to_json(registry, tracer)
+    elif fmt in ("prom", "prometheus"):
+        text = to_prometheus(registry)
+    else:
+        raise ValueError("unknown export format %r (json or prom)" % fmt)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return text

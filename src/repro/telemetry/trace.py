@@ -1,0 +1,201 @@
+"""Span-based tracing over the simulated clock.
+
+A *span* is one timed operation; spans opened while another span is
+active become its children, so a chain deployment produces one tree::
+
+    service.deploy
+      service.parse_sg
+      orchestrator.deploy
+        orchestrator.map
+        orchestrator.start_vnf
+          netconf.rpc (startVNF)
+          netconf.rpc (connectVNF)
+        orchestrator.install_segment
+          steering.install_path
+            openflow.flow_mod
+
+Spans are context managers and must be closed in LIFO order — which
+Python's ``with`` nesting guarantees, including across simulator pumps
+(a blocking ``PendingReply.result`` call runs nested callbacks to
+completion inside the enclosing span, so their spans nest correctly).
+
+All timestamps come from the tracer's clock (``Simulator.now`` when
+bound by the ESCAPE facade), so traces are deterministic and span
+durations measure *simulated* latency — e.g. a ``netconf.rpc`` span's
+duration is the RPC's round trip over the emulated control network.
+"""
+
+import itertools
+from collections import deque
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed operation in a trace tree."""
+
+    __slots__ = ("tracer", "name", "span_id", "parent", "tags", "start",
+                 "end", "children", "status")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 tags: Dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent: Optional["Span"] = None
+        self.tags = tags
+        self.start: Optional[float] = None
+        self.end: Optional[float] = None
+        self.children: List["Span"] = []
+        self.status = "open"
+
+    # -- context manager protocol ------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        self.tracer._close(self, error=exc_type is not None)
+        return False  # never swallow
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+    def depth(self) -> int:
+        """Levels in this subtree (a leaf span has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """This span and every descendant, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def find(self, name: str) -> List["Span"]:
+        """All spans named ``name`` in this subtree."""
+        return [span for span in self.iter_spans() if span.name == name]
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+        }
+        if self.tags:
+            data["tags"] = dict(self.tags)
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+    def render(self, indent: int = 0) -> str:
+        """Indented one-line-per-span tree (the CLI ``trace`` output)."""
+        duration = self.duration
+        timing = ("%.6fs" % duration) if duration is not None else "?"
+        tags = " ".join("%s=%s" % item for item in sorted(self.tags.items()))
+        line = "%s%s [%s]%s" % ("  " * indent, self.name, timing,
+                                (" " + tags) if tags else "")
+        lines = [line]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "Span(%s, id=%d, %s)" % (self.name, self.span_id,
+                                        self.status)
+
+
+class _NullSpan:
+    """No-op stand-in returned when a sampled span is skipped."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Creates spans, tracks the active stack, keeps finished traces.
+
+    Finished *root* spans (those with no parent) are retained in a
+    bounded ring (``max_traces``); :attr:`last_trace` is the most
+    recently completed one — for a chain deployment, the full deploy
+    tree.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 max_traces: int = 16):
+        self.clock = clock or (lambda: 0.0)
+        self._ids = itertools.count(1)
+        self._stack: List[Span] = []
+        self.traces: deque = deque(maxlen=max_traces)
+        self.spans_started = 0
+
+    def span(self, name: str, **tags: Any) -> Span:
+        """A new span; use as ``with tracer.span("x"): ...``."""
+        return Span(self, name, next(self._ids), tags)
+
+    def sampled_span(self, name: str, seq: int, every: int,
+                     **tags: Any):
+        """``span(name)`` once per ``every`` calls (by the caller's
+        ``seq`` counter); :data:`NULL_SPAN` otherwise.  For per-packet
+        dataplane sampling."""
+        if every <= 0 or seq % every:
+            return NULL_SPAN
+        return self.span(name, **tags)
+
+    # -- stack management (driven by Span's context protocol) -------------
+
+    def _open(self, span: Span) -> None:
+        span.start = self.clock()
+        if self._stack:
+            span.parent = self._stack[-1]
+            span.parent.children.append(span)
+        self._stack.append(span)
+        self.spans_started += 1
+
+    def _close(self, span: Span, error: bool = False) -> None:
+        span.end = self.clock()
+        span.status = "error" if error else "ok"
+        # LIFO discipline: with-blocks close innermost first.  Be
+        # lenient about a missing frame (a span closed twice).
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if span.parent is None:
+            self.traces.append(span)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def last_trace(self) -> Optional[Span]:
+        return self.traces[-1] if self.traces else None
+
+    def render_last(self) -> str:
+        trace = self.last_trace
+        return trace.render() if trace is not None else ""
+
+    def reset(self) -> None:
+        self._stack = []
+        self.traces.clear()
+
+    def __repr__(self) -> str:
+        return "Tracer(%d traces kept, %d spans started, depth=%d)" % (
+            len(self.traces), self.spans_started, len(self._stack))

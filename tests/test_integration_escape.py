@@ -339,3 +339,104 @@ class TestExplicitMatch:
         escape.run(1.0)
         assert h2.udp_rx_count == 1
         assert int(chain.read_handler("fw", "fw.dropped")) >= 1
+
+
+class TestTelemetry:
+    """A full demo deploy must leave behind a complete, well-nested
+    trace and a metrics snapshot covering all three UNIFY layers."""
+
+    def test_deploy_produces_nested_trace(self, escape):
+        escape.deploy_service(FIREWALL_SG)
+        trace = escape.last_trace()
+        assert trace is not None
+        assert trace.name == "service.deploy"
+        assert trace.status == "ok"
+        assert trace.tags["service"] == "fw-chain"
+        # service.deploy -> orchestrator.deploy -> start_vnf ->
+        # netconf.rpc is already four levels; steering goes one deeper
+        assert trace.depth() >= 4
+        for name in ("service.parse_sg", "orchestrator.deploy",
+                     "orchestrator.map", "orchestrator.start_vnf",
+                     "netconf.rpc", "orchestrator.install_segment",
+                     "steering.install_path", "openflow.flow_mod"):
+            assert trace.find(name), "missing span %s" % name
+
+    def test_trace_spans_are_well_nested(self, escape):
+        escape.deploy_service(FIREWALL_SG)
+        trace = escape.last_trace()
+        for span in trace.iter_spans():
+            assert span.status == "ok"
+            assert span.duration is not None and span.duration >= 0
+            for child in span.children:
+                assert child.start >= span.start
+                assert child.end <= span.end
+        # the startVNF RPC precedes its connectVNF RPCs in sim time
+        rpc_ops = [span.tags["op"]
+                   for span in trace.find("netconf.rpc")]
+        assert rpc_ops[0] == "startVNF"
+        assert "connectVNF" in rpc_ops
+
+    def test_last_trace_survives_traffic(self, escape):
+        """Sampled per-packet spans must not shadow the deploy trace."""
+        escape.deploy_service(FIREWALL_SG)
+        h1, h2 = escape.net.get("h1"), escape.net.get("h2")
+        h1.ping(h2.ip, count=5, interval=0.05)
+        escape.run(2.0)
+        trace = escape.last_trace()
+        assert trace is not None and trace.name == "service.deploy"
+
+    def test_snapshot_covers_all_three_layers(self, escape):
+        escape.deploy_service(FIREWALL_SG)
+        h1, h2 = escape.net.get("h1"), escape.net.get("h2")
+        h1.ping(h2.ip, count=3, interval=0.05)
+        escape.run(2.0)
+        metrics = escape.metrics_snapshot()
+        # service layer
+        assert metrics["service.layer.deploys"]["value"] == 1
+        # orchestration layer
+        assert metrics["core.orchestrator.deploys"]["value"] == 1
+        assert metrics["core.mapping.map_calls"]["value"] == 1
+        assert metrics["netconf.client.rpcs"]["value"] >= 3
+        assert metrics["pox.steering.flow_mods"]["value"] >= 4
+        # infrastructure layer (collector-fed gauges)
+        assert metrics["netconf.agent.rpcs"]["value"] >= 3
+        assert metrics["openflow.switch.flow_mods"]["value"] >= 4
+        assert metrics["netem.link.delivered"]["value"] > 0
+        assert metrics["click.element.pushes"]["value"] > 0
+        assert metrics["core.orchestrator.deploy_time"]["count"] == 1
+
+    def test_export_formats(self, escape, tmp_path):
+        import json as json_module
+        escape.deploy_service(FIREWALL_SG)
+        data = json_module.loads(escape.export_metrics("json"))
+        assert data["metrics"]["service.layer.deploys"]["value"] == 1
+        assert data["traces"]
+        prom = escape.export_metrics("prom")
+        assert "# TYPE service_layer_deploys counter" in prom
+        assert "# TYPE netconf_client_rpc_latency summary" in prom
+        path = tmp_path / "snap.json"
+        escape.export_metrics("json", str(path))
+        assert json_module.loads(path.read_text())["metrics"]
+        with pytest.raises(ValueError):
+            escape.export_metrics("xml")
+
+    def test_cli_metrics_and_trace_commands(self, escape):
+        escape.deploy_service(FIREWALL_SG)
+        cli = escape.cli()
+        assert "service_layer_deploys 1" in cli.run_command("metrics prom")
+        json_out = cli.run_command("metrics")
+        assert '"service.layer.deploys"' in json_out
+        trace_out = cli.run_command("trace")
+        assert trace_out.startswith("service.deploy")
+        assert "netconf.rpc" in trace_out
+
+    def test_monitor_counters_live_in_registry(self, escape):
+        chain = escape.deploy_service(FIREWALL_SG)
+        monitor = escape.monitor(chain, interval=0.5)
+        monitor.start()
+        escape.run(1.2)
+        monitor.stop()
+        assert monitor.polls >= 2
+        registry = escape.telemetry.metrics
+        assert registry.get("core.monitor.polls").value >= 2
+        assert registry.get("pox.stats.poll_rounds").value >= 1
