@@ -1,0 +1,146 @@
+"""OBS — overhead of the observability stack.
+
+Three questions, answered in wall-clock terms:
+
+* how much does emitting a structured event cost (the price every
+  instrumented layer pays),
+* what does an attached flight-recorder tap add to the dataplane,
+* and — the guardrail — does the *untapped* dataplane stay fast?  The
+  tap hook in ``Link.transmit``/``_deliver`` is a single falsy check
+  when no tap is attached; this suite re-times the untapped path after
+  an attach/detach cycle and fails if it regressed more than 10%
+  against the taps-never-attached baseline measured in the same run.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.helpers import attach_telemetry, chain_sg, started_escape
+from repro.telemetry import EventLog, Telemetry, Tracer
+
+
+# -- event log ---------------------------------------------------------------
+
+def test_event_emit(benchmark):
+    log = EventLog(capacity=4096)
+
+    def emit():
+        log.info("bench.source", "bench.event", "message", key="value")
+    benchmark(emit)
+    assert log.emitted > 0
+
+
+def test_event_emit_with_open_span(benchmark):
+    """Emission inside a span also stamps the trace id."""
+    tracer = Tracer()
+    log = EventLog(tracer=tracer)
+    with tracer.span("bench.op"):
+        benchmark(lambda: log.info("bench.source", "bench.event"))
+    assert log.events()[-1].trace_id is not None
+
+
+def test_event_emit_suppressed(benchmark):
+    """Below-threshold events should be near-free."""
+    log = EventLog(min_severity="ERROR")
+    benchmark(lambda: log.debug("bench.source", "bench.event"))
+    assert len(log) == 0
+
+
+def test_event_query_warn_of_mixed_log(benchmark):
+    log = EventLog(capacity=8192)
+    for index in range(4000):
+        (log.warn if index % 10 == 0 else log.debug)(
+            "layer.comp%d" % (index % 7), "name%d" % (index % 13))
+    result = benchmark(lambda: log.query(min_severity="WARN"))
+    assert len(result) == 400
+
+
+# -- dataplane tap overhead ---------------------------------------------------
+
+def _udp_workload(escape, packets=300):
+    """Drive a burst of UDP through the deployed chain, return the
+    host-process wall-clock seconds the simulation took."""
+    h1, h2 = escape.net.get("h1"), escape.net.get("h2")
+    before = h2.udp_rx_count
+    h1.start_udp_flow(h2.ip, 5001, rate_pps=1000,
+                      duration=packets / 1000.0, payload_size=200)
+    started = time.perf_counter()
+    escape.run(packets / 1000.0 + 0.5)
+    elapsed = time.perf_counter() - started
+    assert h2.udp_rx_count - before == packets
+    return elapsed
+
+
+def _min_of(samples_fn, rounds=5):
+    return min(samples_fn() for _ in range(rounds))
+
+
+@pytest.fixture(scope="module")
+def forwarding_escape():
+    escape = started_escape(containers=2, container_ports=4)
+    escape.deploy_service(chain_sg(1, name="obs-chain"))
+    return escape
+
+
+def test_tap_attached_dataplane(benchmark, forwarding_escape):
+    """Dataplane cost with every chain link tapped (ring appends)."""
+    escape = forwarding_escape
+    chain = escape.service_layer.services["obs-chain"]
+    taps = escape.recorder.attach_chain(chain)
+    try:
+        benchmark.pedantic(lambda: _udp_workload(escape),
+                           rounds=3, iterations=1)
+        assert sum(tap.matched for tap in taps) > 0
+    finally:
+        escape.recorder.detach_all()
+    attach_telemetry(benchmark, escape)
+
+
+def test_untapped_dataplane_no_regression(forwarding_escape):
+    """The 10% guardrail: after taps come and go, the no-tap path must
+    cost what it did before any tap existed (min-of-N to de-noise)."""
+    escape = forwarding_escape
+    chain = escape.service_layer.services["obs-chain"]
+    assert all(not link.taps for link in escape.net.links)
+
+    _udp_workload(escape)  # warm-up
+    baseline = _min_of(lambda: _udp_workload(escape))
+
+    escape.recorder.attach_chain(chain)
+    _udp_workload(escape)
+    escape.recorder.detach_all()
+    assert all(not link.taps for link in escape.net.links)
+
+    retimed = _min_of(lambda: _udp_workload(escape))
+    assert retimed <= baseline * 1.10, (
+        "untapped dataplane regressed: %.4fs vs %.4fs baseline"
+        % (retimed, baseline))
+
+
+def test_sla_monitor_overhead(benchmark):
+    """A probing SLA monitor on an idle chain: the cost of demo step 5
+    running continuously."""
+    escape = started_escape(containers=2, container_ports=4)
+    sg = chain_sg(1, name="sla-bench")
+    sg.add_requirement("h1", "h2", max_delay=0.5)
+    escape.deploy_service(sg)
+    monitor = escape.sla_monitors["sla-bench"]
+
+    def probe_second():
+        rounds_before = monitor.rounds
+        escape.run(1.0)
+        assert monitor.rounds > rounds_before
+    benchmark.pedantic(probe_second, rounds=3, iterations=1)
+    assert monitor.state == "OK"
+    attach_telemetry(benchmark, escape)
+
+
+def test_snapshot_with_events(benchmark):
+    """Serializing a busy bundle (metrics + traces + events)."""
+    telemetry = Telemetry()
+    for index in range(200):
+        telemetry.metrics.counter("bench.c%d.value" % index).inc()
+        telemetry.events.info("bench.src", "e%d" % index)
+    snapshot = benchmark(telemetry.snapshot)
+    assert len(snapshot["events"]) == 200

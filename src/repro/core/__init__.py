@@ -28,6 +28,8 @@ from repro.core.nffg import (Requirement, ResourceView, SAP, ServiceGraph,
 from repro.core.orchestrator import (DeployedChain, Orchestrator,
                                      OrchestratorError)
 from repro.core.service import ServiceLayer, ServiceRequest
+from repro.core.sla import (OK, RequirementReport, SLAError, SLAMonitor,
+                            VIOLATED, WARN)
 from repro.core.sgfile import (load_service_graph, load_topology,
                                save_service_graph, save_topology)
 
@@ -42,17 +44,23 @@ __all__ = [
     "Mapping",
     "MappingError",
     "MonitorSample",
+    "OK",
     "Orchestrator",
     "OrchestratorError",
     "Requirement",
+    "RequirementReport",
     "ResourceView",
     "SAP",
     "SGLink",
+    "SLAError",
+    "SLAMonitor",
     "ServiceGraph",
     "ServiceLayer",
     "ServiceRequest",
     "ShortestPathMapper",
+    "VIOLATED",
     "VNFCatalog",
+    "WARN",
     "VNFMonitor",
     "VNFNode",
     "default_catalog",

@@ -33,8 +33,9 @@ from repro.core.nffg import ServiceGraph
 from repro.core.orchestrator import DeployedChain, Orchestrator
 from repro.core.service import ServiceLayer, ServiceRequest
 from repro.core.sgfile import load_service_graph
+from repro.core.sla import SLAMonitor
 from repro.netconf import NetconfClient, TransportPair, VNFAgent
-from repro.netem import CLI, Network, Topo
+from repro.netem import CLI, FlightRecorder, Network, Topo
 from repro.openflow import Match
 from repro.pox import (Core, Discovery, L2LearningSwitch, OpenFlowNexus,
                        StatsCollector, TrafficSteering)
@@ -54,8 +55,12 @@ class ESCAPE:
                  control_latency: float = 0.001,
                  discovery_interval: float = 1.0,
                  control_network: str = "outband",
-                 of_wire: bool = False):
+                 of_wire: bool = False,
+                 sla_autostart: bool = True):
         self.net = net
+        # chains deployed with NFFG requirements get an SLAMonitor
+        # automatically (see deploy_service); opt out per instance
+        self.sla_autostart = sla_autostart
         net.serialize_openflow = of_wire
         self.sim: Simulator = net.sim
         # One telemetry bundle per framework instance, clocked by the
@@ -144,6 +149,8 @@ class ESCAPE:
         }
         self.service_layer = ServiceLayer(self.orchestrator,
                                           self.mappers["shortest-path"])
+        self.recorder = FlightRecorder(net, self.telemetry)
+        self.sla_monitors: Dict[str, SLAMonitor] = {}
         self._m_service_deploys = self.telemetry.metrics.counter(
             "service.layer.deploys", "service requests submitted")
         self.telemetry.metrics.add_collector(self._collect_metrics)
@@ -249,6 +256,11 @@ class ESCAPE:
                     priority=self.GUARD_PRIORITY))
 
     def stop(self) -> None:
+        for monitor in self.sla_monitors.values():
+            if monitor.running:
+                monitor.stop()
+        self.sla_monitors.clear()
+        self.recorder.detach_all()
         for chain in list(self.service_layer.services.values()):
             chain.undeploy()
         self.net.stop()
@@ -286,9 +298,15 @@ class ESCAPE:
             self._m_service_deploys.inc()
             request = ServiceRequest(sg, match=match,
                                      return_path=return_path)
-            return self.service_layer.submit(request, mapper)
+            chain = self.service_layer.submit(request, mapper)
+        if self.sla_autostart and sg.requirements:
+            self.watch_sla(chain)
+        return chain
 
     def terminate_service(self, name: str) -> None:
+        monitor = self.sla_monitors.pop(name, None)
+        if monitor is not None and monitor.running:
+            monitor.stop()
         self.service_layer.terminate(name)
 
     def monitor(self, chain: DeployedChain,
@@ -297,6 +315,37 @@ class ESCAPE:
         monitor = VNFMonitor(chain, interval=interval)
         monitor.watch_catalog_defaults()
         return monitor
+
+    def watch_sla(self, chain: DeployedChain, **options) -> SLAMonitor:
+        """Start (or return the running) SLA conformance monitor for a
+        deployed chain carrying NFFG requirements."""
+        existing = self.sla_monitors.get(chain.sg.name)
+        if existing is not None and existing.running:
+            return existing
+        monitor = SLAMonitor(chain, **options)
+        monitor.start()
+        self.sla_monitors[chain.sg.name] = monitor
+        return monitor
+
+    def health(self) -> dict:
+        """One-look operational summary: per-chain SLA state, recent
+        WARN/ERROR events and flight-recorder occupancy."""
+        from repro.telemetry import WARN as EV_WARN
+        slas = {name: {"state": monitor.state,
+                       "rounds": monitor.rounds,
+                       "running": monitor.running}
+                for name, monitor in sorted(self.sla_monitors.items())}
+        alerts = [event.to_dict() for event in
+                  self.telemetry.events.query(min_severity=EV_WARN,
+                                              limit=20)]
+        return {
+            "time": self.sim.now,
+            "services": {name: chain.active for name, chain
+                         in self.service_layer.services.items()},
+            "sla": slas,
+            "alerts": alerts,
+            "recorder": self.recorder.status(),
+        }
 
     def status(self) -> dict:
         """Structured snapshot of the whole framework: the "real-time
@@ -352,9 +401,11 @@ class ESCAPE:
         text; optionally write it to ``path``.  Returns the text."""
         if path is not None:
             return write_snapshot(path, self.telemetry.metrics,
-                                  self.telemetry.tracer, fmt=fmt)
+                                  self.telemetry.tracer, fmt=fmt,
+                                  events=self.telemetry.events)
         if fmt == "json":
-            return to_json(self.telemetry.metrics, self.telemetry.tracer)
+            return to_json(self.telemetry.metrics, self.telemetry.tracer,
+                           events=self.telemetry.events)
         if fmt in ("prom", "prometheus"):
             return to_prometheus(self.telemetry.metrics)
         raise ValueError("unknown export format %r (json or prom)" % fmt)
@@ -370,7 +421,8 @@ class ESCAPE:
     def cli(self) -> CLI:
         """The interactive console: Mininet-style network commands plus
         ESCAPE service commands (services / deploy / undeploy / migrate
-        / topology / metrics / trace)."""
+        / topology / metrics / trace) and the observability commands
+        (health / sla / events / record)."""
         console = CLI(self.net)
         console.commands.update({
             "services": self._cli_services,
@@ -382,6 +434,10 @@ class ESCAPE:
             "status": self._cli_status,
             "metrics": self._cli_metrics,
             "trace": self._cli_trace,
+            "health": self._cli_health,
+            "sla": self._cli_sla,
+            "events": self._cli_events,
+            "record": self._cli_record,
         })
         return console
 
@@ -456,6 +512,115 @@ class ESCAPE:
         if trace is None:
             return "no deployment trace recorded yet"
         return trace.render()
+
+    def _cli_health(self, args) -> str:
+        health = self.health()
+        lines = ["t=%.3f  %d service(s)" % (health["time"],
+                                            len(health["services"]))]
+        for name, active in sorted(health["services"].items()):
+            sla = health["sla"].get(name)
+            sla_text = sla["state"] if sla else "unmonitored"
+            lines.append("  %-20s %-8s sla=%s"
+                         % (name, "active" if active else "down",
+                            sla_text))
+        if health["alerts"]:
+            lines.append("recent alerts:")
+            for alert in health["alerts"][-5:]:
+                lines.append("  %.3f %-5s %s %s"
+                             % (alert["time"], alert["severity"],
+                                alert["name"], alert["message"]))
+        else:
+            lines.append("no WARN/ERROR events recorded")
+        taps = health["recorder"]
+        lines.append("flight recorder: %d tap(s)" % len(taps))
+        return "\n".join(lines)
+
+    def _cli_sla(self, args) -> str:
+        if args:
+            monitor = self.sla_monitors.get(args[0])
+            if monitor is None:
+                return "*** no SLA monitor for %r" % args[0]
+            return monitor.render()
+        if not self.sla_monitors:
+            return ("no SLA monitors running (deploy a service graph "
+                    "with requirements)")
+        return "\n".join(monitor.render() for _name, monitor
+                         in sorted(self.sla_monitors.items()))
+
+    def _cli_events(self, args) -> str:
+        from repro.telemetry import SEVERITIES
+        if args and args[0] == "jsonl":
+            if len(args) != 2:
+                return "usage: events jsonl <output-file>"
+            count = self.telemetry.events.write_jsonl(args[1])
+            return "wrote %d events to %s" % (count, args[1])
+        from repro.telemetry import DEBUG as EV_DEBUG
+        min_severity = EV_DEBUG
+        limit = 20
+        rest = list(args)
+        if rest and rest[0].upper() in SEVERITIES:
+            min_severity = rest.pop(0).upper()
+        if rest:
+            try:
+                limit = int(rest[0])
+            except ValueError:
+                return "usage: events [debug|info|warn|error] [limit]"
+        selected = self.telemetry.events.query(min_severity=min_severity,
+                                               limit=limit)
+        if not selected:
+            return "no events recorded"
+        return "\n".join(event.render() for event in selected)
+
+    def _cli_record(self, args) -> str:
+        recorder = self.recorder
+        if not args or args[0] in ("list", "status"):
+            return recorder.render()
+        command, rest = args[0], args[1:]
+        if command == "start":
+            if len(rest) == 1:
+                tap = recorder.attach(rest[0])
+                return "recording %s" % tap.label
+            if len(rest) == 2:
+                links = self.net.links_between(rest[0], rest[1])
+                if not links:
+                    return "*** no link between %r and %r" % (rest[0],
+                                                              rest[1])
+                taps = [recorder.attach(link) for link in links]
+                return "recording %s" % ", ".join(tap.label
+                                                  for tap in taps)
+            return "usage: record start <link-name> | <node1> <node2>"
+        if command == "chain":
+            if len(rest) != 1:
+                return "usage: record chain <service-name>"
+            chain = self.service_layer.services.get(rest[0])
+            if chain is None:
+                return "*** no service %r" % rest[0]
+            taps = recorder.attach_chain(chain)
+            return "recording %d link(s) of %s" % (len(taps), rest[0])
+        if command == "stop":
+            if rest == ["all"] or not rest:
+                count = len(recorder.taps)
+                recorder.detach_all()
+                return "stopped %d tap(s)" % count
+            try:
+                recorder.detach(rest[0])
+            except Exception as exc:
+                return "*** %s" % exc
+            return "stopped %s" % rest[0]
+        if command == "pcap":
+            if not rest:
+                return "usage: record pcap <output-file> [trace-id]"
+            trace_id = None
+            if len(rest) > 1:
+                try:
+                    trace_id = int(rest[1])
+                except ValueError:
+                    return "*** trace-id must be an integer"
+            count = recorder.export_pcap(rest[0], trace_id=trace_id)
+            return "wrote %d frames to %s" % (count, rest[0])
+        return ("usage: record [list|status] | start <link|node1 node2> "
+                "| chain <service> | stop <tap|all> | pcap <file> "
+                "[trace-id]")
 
     def _cli_catalog(self, args) -> str:
         lines = []

@@ -19,9 +19,10 @@ class MonitorSample:
         self.value = value
 
     def as_float(self) -> Optional[float]:
+        # TypeError covers None/odd handler replies, not just bad strings
         try:
             return float(self.value)
-        except ValueError:
+        except (TypeError, ValueError):
             return None
 
     def __repr__(self) -> str:
@@ -50,6 +51,8 @@ class VNFMonitor:
             "rpc-error")
         self._polls_base = self._m_polls.value
         self._poll_errors_base = self._m_poll_errors.value
+        self._events = chain.orchestrator.telemetry.events
+        self._warned_unparseable: set = set()
         self.running = False
         self._callbacks: List[Callable] = []
 
@@ -112,6 +115,16 @@ class VNFMonitor:
             sample = MonitorSample(self.sim.now,
                                    value_el.text or ""
                                    if value_el is not None else "")
+            if sample.as_float() is None \
+                    and key not in self._warned_unparseable:
+                # once per handler: textual handlers stay quiet after
+                # the first heads-up
+                self._warned_unparseable.add(key)
+                self._events.warn(
+                    "core.monitor", "monitor.unparseable_sample",
+                    "%s/%s returned non-numeric %r" % (key[0], key[1],
+                                                       sample.value),
+                    vnf=key[0], handler=key[1])
             self.series[key].append(sample)
             for callback in self._callbacks:
                 callback(key[0], key[1], sample)

@@ -244,6 +244,7 @@ class Orchestrator:
         if return_path not in ("direct", "none", "chain"):
             raise OrchestratorError("bad return_path %r" % return_path)
         tracer = self.telemetry.tracer
+        events = self.telemetry.events
         started_at = self.net.sim.now
         with tracer.span("orchestrator.deploy", service=sg.name,
                          mapper=mapper.name):
@@ -251,9 +252,13 @@ class Orchestrator:
             with tracer.span("orchestrator.map", mapper=mapper.name):
                 try:
                     mapping = mapper.map(sg, self.view)
-                except MappingError:
+                except MappingError as exc:
                     self._m_map_rejected.inc()
                     self._m_deploy_failures.inc()
+                    events.error("core.orchestrator",
+                                 "orchestrator.mapping_rejected",
+                                 "%s: %s" % (sg.name, exc),
+                                 service=sg.name, mapper=mapper.name)
                     raise
             vnfs: Dict[str, DeployedVNF] = {}
             path_ids: List[str] = []
@@ -280,8 +285,11 @@ class Orchestrator:
                 elif return_path == "chain":
                     path_ids.extend(self._install_chain_return(
                         sg, mapping, vnfs, base_match))
-            except Exception:
+            except Exception as exc:
                 self._m_deploy_failures.inc()
+                events.error("core.orchestrator",
+                             "orchestrator.deploy_failed",
+                             "%s: %s" % (sg.name, exc), service=sg.name)
                 self._rollback(sg, mapping, mapper, vnfs, path_ids)
                 raise
         chain = DeployedChain(self, sg, mapping, mapper, vnfs, path_ids,
@@ -290,6 +298,12 @@ class Orchestrator:
         self.deployed[sg.name] = chain
         self._m_deploys.inc()
         self._m_deploy_time.observe(self.net.sim.now - started_at)
+        events.info("core.orchestrator", "orchestrator.deployed",
+                    "%s placed %s" % (
+                        sg.name,
+                        ", ".join("%s->%s" % item for item in
+                                  sorted(mapping.vnf_placement.items()))),
+                    service=sg.name, mapper=mapper.name)
         return chain
 
     # -- VNF lifecycle over NETCONF -------------------------------------------
@@ -558,6 +572,11 @@ class Orchestrator:
                        {"id": deployed.vnf_id}).result(self.net.sim)
         self.view.release_container(old_placement, cpu, mem, ports)
         self._m_migrations.inc()
+        self.telemetry.events.info(
+            "core.orchestrator", "orchestrator.migrated",
+            "%s/%s: %s -> %s" % (chain.sg.name, vnf_name, old_placement,
+                                 target_container),
+            service=chain.sg.name, vnf=vnf_name)
 
     def _reroute_segments(self, chain: DeployedChain,
                           vnf_name: str) -> None:
@@ -640,6 +659,9 @@ class Orchestrator:
                        {"id": deployed.vnf_id}).result(self.net.sim)
         chain.mapper.release(chain.mapping, self.view)
         self.deployed.pop(chain.sg.name, None)
+        self.telemetry.events.info("core.orchestrator",
+                                   "orchestrator.undeployed",
+                                   chain.sg.name, service=chain.sg.name)
 
     def __repr__(self) -> str:
         return "Orchestrator(%d chains deployed)" % len(self.deployed)

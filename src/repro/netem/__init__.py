@@ -23,6 +23,8 @@ from repro.netem.interface import Interface
 from repro.netem.link import Link
 from repro.netem.net import Network, NetworkError
 from repro.netem.node import Host, Node, Switch
+from repro.netem.recorder import (FlightRecorder, LinkTap, RecorderError,
+                                  TapRecord)
 from repro.netem.resources import ResourceBudget, ResourceError
 from repro.netem.topo import LinearTopo, SingleSwitchTopo, Topo, TreeTopo
 from repro.netem.traffic import PacketCapture, PingResult, TrafficReport
@@ -31,14 +33,18 @@ from repro.netem.cli import CLI
 
 __all__ = [
     "CLI",
+    "FlightRecorder",
     "Host",
     "Interface",
     "LinearTopo",
     "Link",
+    "LinkTap",
     "Network",
     "NetworkError",
     "Node",
     "PacketCapture",
+    "RecorderError",
+    "TapRecord",
     "PingResult",
     "ResourceBudget",
     "ResourceError",

@@ -9,6 +9,7 @@ so packet-loss experiments replay identically.
 import random
 from typing import Optional
 
+from repro import telemetry
 from repro.netem.interface import Interface
 from repro.sim import Simulator
 
@@ -55,6 +56,10 @@ class Link:
         self.max_queue = max_queue
         self.name = name or "%s<->%s" % (intf1.name, intf2.name)
         self.up = True
+        # Flight-recorder taps (see repro.netem.recorder).  Kept as a
+        # plain list so the dataplane hot path pays one falsy check
+        # when no recorder is attached.
+        self.taps = []
         self._rng = random.Random(hash(self.name) & 0xFFFFFFFF)
         self._dir1 = _Direction()  # intf1 -> intf2
         self._dir2 = _Direction()  # intf2 -> intf1
@@ -73,10 +78,26 @@ class Link:
                                                           self.name))
 
     def set_up(self, up: bool) -> None:
+        if up == self.up:
+            return
         self.up = up
+        events = telemetry.current().events
+        if up:
+            events.info("netem.link", "link.up", self.name,
+                        link=self.name)
+        else:
+            events.warn("netem.link", "link.down", self.name,
+                        link=self.name)
+
+    def _notify_taps(self, direction: str, intf: Interface,
+                     data: bytes) -> None:
+        for tap in self.taps:
+            tap.observe(self.sim.now, self, direction, intf, data)
 
     def transmit(self, from_intf: Interface, data: bytes) -> None:
         """Queue a frame for delivery to the other end."""
+        if self.taps:
+            self._notify_taps("tx", from_intf, data)
         if not self.up:
             self.dropped += 1
             return
@@ -109,6 +130,8 @@ class Link:
             return
         self.delivered += 1
         self.delivered_bytes += len(data)
+        if self.taps:
+            self._notify_taps("rx", target, data)
         target.deliver(data)
 
     def __repr__(self) -> str:

@@ -165,6 +165,16 @@ class Network:
         return [link for link in self.links
                 if link.intf1.name in names or link.intf2.name in names]
 
+    def links_between(self, node1: Union[str, Node],
+                      node2: Union[str, Node]) -> List[Link]:
+        """All links directly connecting ``node1`` and ``node2``."""
+        if isinstance(node1, str):
+            node1 = self.get(node1)
+        if isinstance(node2, str):
+            node2 = self.get(node2)
+        return [link for link in self.links
+                if {link.intf1.node, link.intf2.node} == {node1, node2}]
+
     # -- topology construction ------------------------------------------------
 
     @classmethod

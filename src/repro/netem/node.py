@@ -8,6 +8,7 @@ from repro.openflow import OpenFlowSwitch
 from repro.packet import (ARP, BROADCAST, EthAddr, Ethernet, ICMP, IPAddr,
                           IPv4, UDP)
 from repro.packet.base import PacketError
+from repro.packet.probe import PROBE_MAGIC
 from repro.sim import Simulator
 
 
@@ -79,6 +80,9 @@ class Host(Node):
         self._udp_handlers: Dict[int, Callable] = {}
         self.udp_rx_count = 0
         self.udp_rx_bytes = 0
+        # SLA probe datagrams are measurement traffic: counted apart so
+        # they never skew user-traffic accounting
+        self.probe_rx_count = 0
         self._pings: Dict[int, PendingPing] = {}
         self._next_ping_id = 1
         self._captures: List = []
@@ -171,11 +175,15 @@ class Host(Node):
             return
         udp = ip.find(UDP)
         if udp is not None:
-            self.udp_rx_count += 1
-            self.udp_rx_bytes += len(udp.raw_payload())
+            payload = udp.raw_payload()
+            if payload.startswith(PROBE_MAGIC):
+                self.probe_rx_count += 1
+            else:
+                self.udp_rx_count += 1
+                self.udp_rx_bytes += len(payload)
             handler = self._udp_handlers.get(udp.dstport)
             if handler is not None:
-                handler(ip.srcip, udp.srcport, udp.raw_payload())
+                handler(ip.srcip, udp.srcport, payload)
 
     def _handle_icmp(self, ip: IPv4, icmp: ICMP) -> None:
         if icmp.is_echo_request:

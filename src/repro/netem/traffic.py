@@ -1,9 +1,34 @@
 """Traffic measurement objects: ping results, UDP flow reports, and a
 tcpdump-style capture (demo step 4's "standard tools")."""
 
-from typing import List, Optional
+import struct
+from typing import Iterable, List, Optional
 
 from repro.packet import Ethernet
+
+
+def write_pcap(path: str, entries: Iterable, snaplen: int = 65535) -> int:
+    """Write timestamped frames as a classic pcap file (linktype
+    Ethernet), loadable in Wireshark/tcpdump.
+
+    ``entries`` is any iterable of records with ``time`` (seconds) and
+    ``frame`` (an :class:`Ethernet`) attributes — host captures and
+    flight-recorder taps both qualify.  Returns the record count.
+    """
+    written = 0
+    with open(path, "wb") as handle:
+        handle.write(struct.pack("!IHHiIII", 0xA1B2C3D4, 2, 4,
+                                 0, 0, snaplen, 1))
+        for entry in entries:
+            wire = entry.frame.pack()
+            ts_sec = int(entry.time)
+            ts_usec = int((entry.time - ts_sec) * 1e6)
+            captured = wire[:snaplen]
+            handle.write(struct.pack("!IIII", ts_sec, ts_usec,
+                                     len(captured), len(wire)))
+            handle.write(captured)
+            written += 1
+    return written
 
 
 class PingResult:
@@ -120,19 +145,7 @@ class PacketCapture:
         """Write the captured frames as a classic pcap file (linktype
         Ethernet), loadable in Wireshark/tcpdump.  Returns the number
         of records written."""
-        import struct
-        with open(path, "wb") as handle:
-            handle.write(struct.pack("!IHHiIII", 0xA1B2C3D4, 2, 4,
-                                     0, 0, snaplen, 1))
-            for entry in self.frames:
-                wire = entry.frame.pack()
-                ts_sec = int(entry.time)
-                ts_usec = int((entry.time - ts_sec) * 1e6)
-                captured = wire[:snaplen]
-                handle.write(struct.pack("!IIII", ts_sec, ts_usec,
-                                         len(captured), len(wire)))
-                handle.write(captured)
-        return len(self.frames)
+        return write_pcap(path, self.frames, snaplen)
 
     def __repr__(self) -> str:
         return "PacketCapture(%d kept / %d seen)" % (len(self.frames),

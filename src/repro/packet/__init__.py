@@ -26,6 +26,7 @@ from repro.packet.ethernet import Ethernet, Vlan
 from repro.packet.icmp import ICMP
 from repro.packet.ipv4 import IPv4
 from repro.packet.lldp import LLDP, ChassisTLV, PortTLV, TTLTLV
+from repro.packet.probe import Probe, frame_probe, pack_probe, parse_probe
 from repro.packet.tcp import TCP
 from repro.packet.udp import UDP
 
@@ -42,9 +43,13 @@ __all__ = [
     "LLDP",
     "PacketError",
     "PortTLV",
+    "Probe",
     "TCP",
     "TTLTLV",
     "UDP",
     "Vlan",
+    "frame_probe",
     "is_multicast",
+    "pack_probe",
+    "parse_probe",
 ]

@@ -1,0 +1,84 @@
+"""SLA probe payload format.
+
+The SLA monitor measures a deployed chain by injecting *probe*
+datagrams at the source SAP and timing their arrival at the sink.
+Each probe's UDP payload carries, in-band:
+
+* a magic + version prefix (so taps can recognize probes on the wire),
+* the **trace id** of the ``sla.probe`` span that emitted the burst —
+  the hook that lets a flight-recorder frame be joined back to its
+  pipeline span,
+* the burst sequence number and position within the burst,
+* the simulated **send timestamp** (one-way delay = arrival − send;
+  both ends read the same simulated clock),
+* the chain name.
+
+The payload may be zero-padded to a target size: bandwidth probes use
+larger frames so the burst's dispersion at the bottleneck is
+measurable.
+"""
+
+import struct
+from typing import Optional
+
+from repro.packet.ethernet import Ethernet
+from repro.packet.udp import UDP
+
+PROBE_MAGIC = b"SLAP"
+PROBE_VERSION = 1
+
+# magic, version, trace_id, seq, index, send_time, chain-name length
+_HEAD = struct.Struct("!4sBIIHdH")
+
+
+class Probe:
+    """Decoded probe payload."""
+
+    __slots__ = ("trace_id", "seq", "index", "send_time", "chain")
+
+    def __init__(self, trace_id: int, seq: int, index: int,
+                 send_time: float, chain: str = ""):
+        self.trace_id = trace_id
+        self.seq = seq
+        self.index = index
+        self.send_time = send_time
+        self.chain = chain
+
+    def __repr__(self) -> str:
+        return "Probe(%s #%d.%d, trace=%d, t=%.6f)" % (
+            self.chain, self.seq, self.index, self.trace_id,
+            self.send_time)
+
+
+def pack_probe(trace_id: int, seq: int, index: int, send_time: float,
+               chain: str = "", pad_to: int = 0) -> bytes:
+    """Serialize one probe payload, zero-padded to ``pad_to`` bytes."""
+    name = chain.encode("utf-8")
+    payload = _HEAD.pack(PROBE_MAGIC, PROBE_VERSION, trace_id & 0xFFFFFFFF,
+                         seq & 0xFFFFFFFF, index & 0xFFFF, send_time,
+                         len(name)) + name
+    if pad_to > len(payload):
+        payload += b"\x00" * (pad_to - len(payload))
+    return payload
+
+
+def parse_probe(payload: bytes) -> Optional[Probe]:
+    """Decode a probe payload; None when it is not a probe."""
+    if len(payload) < _HEAD.size or not payload.startswith(PROBE_MAGIC):
+        return None
+    magic, version, trace_id, seq, index, send_time, name_len = \
+        _HEAD.unpack_from(payload)
+    if version != PROBE_VERSION:
+        return None
+    name = payload[_HEAD.size:_HEAD.size + name_len]
+    return Probe(trace_id, seq, index, send_time,
+                 name.decode("utf-8", "replace"))
+
+
+def frame_probe(frame: Ethernet) -> Optional[Probe]:
+    """Extract the probe (if any) riding in an Ethernet frame — the
+    flight recorder's trace-annotation hook."""
+    udp = frame.find(UDP)
+    if udp is None:
+        return None
+    return parse_probe(udp.raw_payload())

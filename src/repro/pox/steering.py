@@ -121,6 +121,13 @@ class TrafficSteering:
                 self.restorations += 1
                 self._m_flow_mods.inc()
                 self._m_restorations.inc()
+                # a chain entry vanished out from under us — restored,
+                # but the operator should know the table was disturbed
+                self.telemetry.events.warn(
+                    "pox.steering", "steering.path_restored",
+                    "re-installed %s entry on dpid=%d after FlowRemoved"
+                    % (installed.path_id, dpid),
+                    path=installed.path_id, dpid=dpid)
                 return
 
     # -- path installation -------------------------------------------------
@@ -156,6 +163,11 @@ class TrafficSteering:
                 self._m_flow_mods.inc()
         self.paths[path_id] = _InstalledPath(path_id, list(hops),
                                              flow_mods, vlan)
+        self.telemetry.events.debug(
+            "pox.steering", "steering.path_installed",
+            "%s: %d hops, %d flow-mods" % (path_id, len(hops),
+                                           len(flow_mods)),
+            path=path_id, mode=self.mode)
 
     @property
     def _flags(self) -> int:
@@ -222,6 +234,9 @@ class TrafficSteering:
             self._m_flow_mods.inc()
         if installed.vlan is not None:
             self._vlans_in_use.discard(installed.vlan)
+        self.telemetry.events.debug("pox.steering",
+                                    "steering.path_removed", path_id,
+                                    path=path_id)
 
     def installed_paths(self) -> List[str]:
         return sorted(self.paths)

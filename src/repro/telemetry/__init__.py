@@ -1,18 +1,23 @@
-"""repro.telemetry — unified metrics & tracing across the UNIFY layers.
+"""repro.telemetry — unified metrics, tracing & events across the
+UNIFY layers.
 
-One :class:`Telemetry` bundle pairs a :class:`MetricsRegistry` with a
-:class:`Tracer`, both reading the same clock.  The ESCAPE facade
-creates a bundle bound to its simulator (``Simulator.now``) and makes
-it *current*; components grab handles at construction time via
-:func:`current` (or lazily, on hot paths).
+One :class:`Telemetry` bundle groups a :class:`MetricsRegistry`, a
+:class:`Tracer` and an :class:`EventLog`, all reading the same clock.
+The ESCAPE facade creates a bundle bound to its simulator
+(``Simulator.now``) and makes it *current*; components grab handles at
+construction time via :func:`current` (or lazily, on hot paths).
 
 Metric names follow ``layer.component.name`` — e.g.
 ``netconf.client.rpc_latency`` or ``core.mapping.placement_attempts``
-— so one snapshot shows all three layers side by side.
+— so one snapshot shows all three layers side by side.  Events use
+``layer.component`` sources and are stamped with the id of whatever
+span is open at emit time, joining the three signal kinds together.
 """
 
 from typing import Callable, Optional
 
+from repro.telemetry.events import (DEBUG, ERROR, INFO, SEVERITIES, WARN,
+                                    Event, EventError, EventLog)
 from repro.telemetry.export import (snapshot_dict, to_json, to_prometheus,
                                     write_snapshot)
 from repro.telemetry.metrics import (Counter, Gauge, Histogram, Metric,
@@ -20,29 +25,42 @@ from repro.telemetry.metrics import (Counter, Gauge, Histogram, Metric,
 from repro.telemetry.trace import NULL_SPAN, Span, Tracer
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "Metric", "MetricError",
-    "MetricsRegistry", "NULL_SPAN", "Span", "Telemetry", "Tracer",
-    "current", "set_current", "snapshot_dict", "to_json",
-    "to_prometheus", "write_snapshot",
+    "Counter", "DEBUG", "ERROR", "Event", "EventError", "EventLog",
+    "Gauge", "Histogram", "INFO", "Metric", "MetricError",
+    "MetricsRegistry", "NULL_SPAN", "SEVERITIES", "Span", "Telemetry",
+    "Tracer", "WARN", "current", "set_current", "snapshot_dict",
+    "to_json", "to_prometheus", "write_snapshot",
 ]
 
 
 class Telemetry:
-    """A metrics registry and a tracer sharing one clock."""
+    """A metrics registry, a tracer and an event log sharing one clock."""
 
-    def __init__(self, sim=None, max_traces: int = 16):
+    def __init__(self, sim=None, max_traces: int = 16,
+                 event_capacity: int = 4096):
         self.sim = sim
         clock: Optional[Callable[[], float]] = (
             (lambda: sim.now) if sim is not None else None)
         self.metrics = MetricsRegistry(clock=clock)
         self.tracer = Tracer(clock=clock, max_traces=max_traces)
+        self.events = EventLog(clock=clock, capacity=event_capacity,
+                               tracer=self.tracer)
+        self.metrics.add_collector(self._collect_event_counts)
+
+    def _collect_event_counts(self, registry: MetricsRegistry) -> None:
+        for severity, count in self.events.counts().items():
+            registry.gauge("telemetry.events.emitted",
+                           "events emitted by severity",
+                           labels={"severity": severity.lower()}
+                           ).set(count)
 
     def snapshot(self):
-        return snapshot_dict(self.metrics, self.tracer)
+        return snapshot_dict(self.metrics, self.tracer, self.events)
 
     def __repr__(self) -> str:
-        return "Telemetry(%d metrics, %d traces)" % (
-            len(self.metrics), len(self.tracer.traces))
+        return "Telemetry(%d metrics, %d traces, %d events)" % (
+            len(self.metrics), len(self.tracer.traces),
+            len(self.events))
 
 
 # The current bundle.  Components constructed outside an ESCAPE facade

@@ -9,6 +9,7 @@ import json
 import re
 from typing import Any, Dict, Optional
 
+from repro.telemetry.events import EventLog
 from repro.telemetry.metrics import Histogram, MetricsRegistry
 from repro.telemetry.trace import Tracer
 
@@ -16,7 +17,8 @@ _PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
 
 
 def snapshot_dict(registry: MetricsRegistry,
-                  tracer: Optional[Tracer] = None) -> Dict[str, Any]:
+                  tracer: Optional[Tracer] = None,
+                  events: Optional[EventLog] = None) -> Dict[str, Any]:
     """The canonical snapshot structure both exporters build on."""
     data: Dict[str, Any] = {
         "time": registry.clock(),
@@ -24,13 +26,16 @@ def snapshot_dict(registry: MetricsRegistry,
     }
     if tracer is not None:
         data["traces"] = [trace.to_dict() for trace in tracer.traces]
+    if events is not None:
+        data["events"] = [event.to_dict() for event in events.events()]
     return data
 
 
 def to_json(registry: MetricsRegistry, tracer: Optional[Tracer] = None,
+            events: Optional[EventLog] = None,
             indent: Optional[int] = 2) -> str:
-    return json.dumps(snapshot_dict(registry, tracer), indent=indent,
-                      sort_keys=True)
+    return json.dumps(snapshot_dict(registry, tracer, events),
+                      indent=indent, sort_keys=True)
 
 
 def prometheus_name(name: str) -> str:
@@ -38,27 +43,48 @@ def prometheus_name(name: str) -> str:
     return _PROM_BAD.sub("_", name)
 
 
+def _label_text(labels: Dict[str, str],
+                extra: Optional[Dict[str, str]] = None) -> str:
+    """``{k="v",...}`` rendering, empty string for no labels."""
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    return "{%s}" % ",".join('%s="%s"' % (key, value) for key, value
+                             in sorted(merged.items()))
+
+
 def to_prometheus(registry: MetricsRegistry) -> str:
-    """Prometheus exposition text: counters and gauges as-is,
-    histograms as summaries (quantile series plus _count/_sum)."""
+    """Prometheus exposition text: counters and gauges as-is (with
+    their labels), histograms as summaries (quantile series plus
+    _count/_sum)."""
     registry.collect()
     lines = []
+    typed = set()
     for metric in registry.metrics():
         name = prometheus_name(metric.name)
-        if metric.help:
-            lines.append("# HELP %s %s" % (name, metric.help))
+        if name not in typed:
+            typed.add(name)
+            if metric.help:
+                lines.append("# HELP %s %s" % (name, metric.help))
+            lines.append("# TYPE %s %s"
+                         % (name, "summary" if isinstance(metric, Histogram)
+                            else metric.kind))
         if isinstance(metric, Histogram):
-            lines.append("# TYPE %s summary" % name)
             for quantile in (0.5, 0.9, 0.99):
                 value = metric.percentile(quantile * 100)
                 if value is not None:
-                    lines.append('%s{quantile="%g"} %s'
-                                 % (name, quantile, _fmt(value)))
-            lines.append("%s_count %d" % (name, metric.count))
-            lines.append("%s_sum %s" % (name, _fmt(metric.sum)))
+                    lines.append("%s%s %s" % (
+                        name, _label_text(metric.labels,
+                                          {"quantile": "%g" % quantile}),
+                        _fmt(value)))
+            labels = _label_text(metric.labels)
+            lines.append("%s_count%s %d" % (name, labels, metric.count))
+            lines.append("%s_sum%s %s" % (name, labels, _fmt(metric.sum)))
         else:
-            lines.append("# TYPE %s %s" % (name, metric.kind))
-            lines.append("%s %s" % (name, _fmt(metric.value)))
+            lines.append("%s%s %s" % (name, _label_text(metric.labels),
+                                      _fmt(metric.value)))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -70,10 +96,11 @@ def _fmt(value: float) -> str:
 
 def write_snapshot(path: str, registry: MetricsRegistry,
                    tracer: Optional[Tracer] = None,
-                   fmt: str = "json") -> str:
+                   fmt: str = "json",
+                   events: Optional[EventLog] = None) -> str:
     """Write a snapshot to ``path``; returns the serialized text."""
     if fmt == "json":
-        text = to_json(registry, tracer)
+        text = to_json(registry, tracer, events)
     elif fmt in ("prom", "prometheus"):
         text = to_prometheus(registry)
     else:

@@ -37,26 +37,53 @@ def _default_clock() -> float:
     return 0.0
 
 
+def labelled_key(name: str, labels: Optional[Dict[str, str]]) -> str:
+    """Registry key for a (name, labels) pair: ``name{k=v,...}``."""
+    if not labels:
+        return name
+    return "%s{%s}" % (name, ",".join(
+        "%s=%s" % (key, value) for key, value in sorted(labels.items())))
+
+
 class Metric:
-    """Base: a named instrument with a last-updated timestamp."""
+    """Base: a named instrument with a last-updated timestamp.
+
+    ``labels`` (optional, immutable after creation) distinguish
+    instances of one logical metric — e.g. ``sla.state`` per chain.
+    Labelled metrics register under ``name{k=v}`` keys and export as
+    Prometheus labelled series.
+    """
 
     kind = "untyped"
 
     def __init__(self, name: str, help: str = "",
-                 clock: Optional[Callable[[], float]] = None):
+                 clock: Optional[Callable[[], float]] = None,
+                 labels: Optional[Dict[str, str]] = None):
         self.name = name
         self.help = help
+        self.labels: Dict[str, str] = dict(labels or {})
         self._clock = clock or _default_clock
         self.last_updated: Optional[float] = None
 
+    @property
+    def key(self) -> str:
+        return labelled_key(self.name, self.labels)
+
     def _touch(self) -> None:
         self.last_updated = self._clock()
+
+    def _base_snapshot(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"type": self.kind,
+                                "last_updated": self.last_updated}
+        if self.labels:
+            data["labels"] = dict(self.labels)
+        return data
 
     def snapshot(self) -> Dict[str, Any]:
         raise NotImplementedError
 
     def __repr__(self) -> str:
-        return "%s(%s)" % (type(self).__name__, self.name)
+        return "%s(%s)" % (type(self).__name__, self.key)
 
 
 class Counter(Metric):
@@ -65,8 +92,9 @@ class Counter(Metric):
     kind = "counter"
 
     def __init__(self, name: str, help: str = "",
-                 clock: Optional[Callable[[], float]] = None):
-        super().__init__(name, help, clock)
+                 clock: Optional[Callable[[], float]] = None,
+                 labels: Optional[Dict[str, str]] = None):
+        super().__init__(name, help, clock, labels)
         self.value: float = 0
 
     def inc(self, amount: float = 1) -> None:
@@ -77,8 +105,9 @@ class Counter(Metric):
         self._touch()
 
     def snapshot(self) -> Dict[str, Any]:
-        return {"type": self.kind, "value": self.value,
-                "last_updated": self.last_updated}
+        data = self._base_snapshot()
+        data["value"] = self.value
+        return data
 
 
 class Gauge(Metric):
@@ -87,8 +116,9 @@ class Gauge(Metric):
     kind = "gauge"
 
     def __init__(self, name: str, help: str = "",
-                 clock: Optional[Callable[[], float]] = None):
-        super().__init__(name, help, clock)
+                 clock: Optional[Callable[[], float]] = None,
+                 labels: Optional[Dict[str, str]] = None):
+        super().__init__(name, help, clock, labels)
         self._value: float = 0
         self._fn: Optional[Callable[[], float]] = None
 
@@ -113,8 +143,9 @@ class Gauge(Metric):
         return self._fn() if self._fn is not None else self._value
 
     def snapshot(self) -> Dict[str, Any]:
-        return {"type": self.kind, "value": self.value,
-                "last_updated": self.last_updated}
+        data = self._base_snapshot()
+        data["value"] = self.value
+        return data
 
 
 class Histogram(Metric):
@@ -129,8 +160,9 @@ class Histogram(Metric):
 
     def __init__(self, name: str, help: str = "",
                  clock: Optional[Callable[[], float]] = None,
+                 labels: Optional[Dict[str, str]] = None,
                  size: int = 1024):
-        super().__init__(name, help, clock)
+        super().__init__(name, help, clock, labels)
         if size <= 0:
             raise MetricError("histogram %s needs a positive window size"
                               % name)
@@ -163,13 +195,12 @@ class Histogram(Metric):
 
     def snapshot(self) -> Dict[str, Any]:
         window = list(self._window)
-        data: Dict[str, Any] = {
-            "type": self.kind,
+        data = self._base_snapshot()
+        data.update({
             "count": self.count,
             "sum": self.sum,
             "window": len(window),
-            "last_updated": self.last_updated,
-        }
+        })
         if window:
             data.update({
                 "min": min(window),
@@ -199,36 +230,44 @@ class MetricsRegistry:
 
     # -- instrument creation ----------------------------------------------
 
-    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
-        existing = self._metrics.get(name)
+    def _get_or_create(self, cls, name: str, help: str,
+                       labels: Optional[Dict[str, str]] = None,
+                       **kwargs) -> Metric:
+        key = labelled_key(name, labels)
+        existing = self._metrics.get(key)
         if existing is not None:
             if not isinstance(existing, cls):
                 raise MetricError(
                     "metric %r already registered as %s, not %s"
-                    % (name, existing.kind, cls.kind))
+                    % (key, existing.kind, cls.kind))
             return existing
         if not _NAME_RE.match(name):
             raise MetricError(
                 "bad metric name %r (want dotted layer.component.name)"
                 % name)
-        metric = cls(name, help, clock=self.clock, **kwargs)
-        self._metrics[name] = metric
+        metric = cls(name, help, clock=self.clock, labels=labels, **kwargs)
+        self._metrics[key] = metric
         return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(Counter, name, help)
+    def counter(self, name: str, help: str = "",
+                labels: Optional[Dict[str, str]] = None) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_create(Gauge, name, help)
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[Dict[str, str]] = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
 
     def histogram(self, name: str, help: str = "",
+                  labels: Optional[Dict[str, str]] = None,
                   size: int = 1024) -> Histogram:
-        return self._get_or_create(Histogram, name, help, size=size)
+        return self._get_or_create(Histogram, name, help, labels,
+                                   size=size)
 
     # -- access -----------------------------------------------------------
 
-    def get(self, name: str) -> Optional[Metric]:
-        return self._metrics.get(name)
+    def get(self, name: str,
+            labels: Optional[Dict[str, str]] = None) -> Optional[Metric]:
+        return self._metrics.get(labelled_key(name, labels))
 
     def names(self) -> List[str]:
         return sorted(self._metrics)

@@ -188,6 +188,20 @@ class Tracer:
     def last_trace(self) -> Optional[Span]:
         return self.traces[-1] if self.traces else None
 
+    def find_span(self, span_id: int) -> Optional[Span]:
+        """Resolve a span id against the kept traces (and the open
+        stack) — how a flight-recorder frame or an event joins back to
+        its pipeline span."""
+        for trace in self.traces:
+            for span in trace.iter_spans():
+                if span.span_id == span_id:
+                    return span
+        for open_span in self._stack:
+            for span in open_span.iter_spans():
+                if span.span_id == span_id:
+                    return span
+        return None
+
     def render_last(self) -> str:
         trace = self.last_trace
         return trace.render() if trace is not None else ""
