@@ -1,0 +1,33 @@
+"""repro.chaos — deterministic fault injection for the whole stack.
+
+Chaos engineering for the prototyping environment: seeded, sim-clock
+scheduled faults (link flaps and degradation, VNF crashes, container
+outages, NETCONF blackholes and slowness) driven by declarative
+:class:`ChaosScenario` descriptions and injected by a
+:class:`ChaosEngine` bound to a running ESCAPE instance.  The same
+seed always produces the same fault schedule *and* — because the
+:class:`~repro.core.recovery.RecoveryManager` reacts on the same
+simulator clock — the same recovery timeline, so resilience is a
+regression-testable property rather than a demo.
+"""
+
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.faults import (FAULT_KINDS, ContainerOutageFault, Fault,
+                                FaultError, LinkDegradeFault,
+                                LinkDownFault, NetconfBlackholeFault,
+                                NetconfSlownessFault, VnfCrashFault)
+from repro.chaos.scenario import ChaosScenario
+
+__all__ = [
+    "ChaosEngine",
+    "ChaosScenario",
+    "ContainerOutageFault",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultError",
+    "LinkDegradeFault",
+    "LinkDownFault",
+    "NetconfBlackholeFault",
+    "NetconfSlownessFault",
+    "VnfCrashFault",
+]

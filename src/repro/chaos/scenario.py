@@ -1,0 +1,88 @@
+"""Declarative chaos scenarios.
+
+A scenario is a named, seeded fault schedule::
+
+    {
+      "name": "crash-and-flap",
+      "seed": 42,
+      "faults": [
+        {"kind": "vnf_crash", "at": 1.0},
+        {"kind": "link_down", "at": 2.0, "duration": 3.0,
+         "target": "s1-eth2<->s2-eth1"},
+        {"kind": "netconf_blackhole", "at": 4.0, "duration": 2.0,
+         "target": "nfpd1"}
+      ]
+    }
+
+``target`` is optional — omitted (or ``"random"``) targets are picked
+by the engine's seeded RNG among the fault's sorted candidates, so the
+same seed always yields the same schedule.
+"""
+
+import json
+from typing import Any, Dict, List, Union
+
+from repro.chaos.faults import FAULT_KINDS, Fault, FaultError
+
+
+class ChaosScenario:
+    """A named list of faults plus the seed that resolves them."""
+
+    def __init__(self, name: str, faults: List[Fault], seed: int = 0):
+        self.name = name
+        self.seed = seed
+        self.faults = sorted(faults, key=lambda fault: fault.at)
+
+    @property
+    def duration(self) -> float:
+        """When the last scheduled action (inject or heal) fires."""
+        end = 0.0
+        for fault in self.faults:
+            end = max(end, fault.at + (fault.duration or 0.0))
+        return end
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosScenario":
+        if "faults" not in data:
+            raise FaultError("scenario needs a 'faults' list")
+        faults = []
+        for index, entry in enumerate(data["faults"]):
+            entry = dict(entry)
+            kind = entry.pop("kind", None)
+            fault_cls = FAULT_KINDS.get(kind)
+            if fault_cls is None:
+                raise FaultError(
+                    "fault #%d: unknown kind %r (have: %s)"
+                    % (index, kind, ", ".join(sorted(FAULT_KINDS))))
+            if "at" not in entry:
+                raise FaultError("fault #%d (%s): missing 'at'"
+                                 % (index, kind))
+            target = entry.pop("target", None)
+            if target == "random":
+                target = None
+            try:
+                faults.append(fault_cls(entry.pop("at"), target=target,
+                                        **entry))
+            except TypeError as exc:
+                raise FaultError("fault #%d (%s): %s" % (index, kind, exc))
+        return cls(data.get("name", "chaos"), faults,
+                   seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def load(cls, source: Union[str, Dict[str, Any]]) -> "ChaosScenario":
+        """Parse a scenario from a dict, a JSON string, or a file path."""
+        if isinstance(source, dict):
+            return cls.from_dict(source)
+        text = source
+        if not source.lstrip().startswith("{"):
+            with open(source) as handle:
+                text = handle.read()
+        return cls.from_dict(json.loads(text))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "seed": self.seed,
+                "faults": [fault.describe() for fault in self.faults]}
+
+    def __repr__(self) -> str:
+        return "ChaosScenario(%s, %d faults, seed=%d)" % (
+            self.name, len(self.faults), self.seed)

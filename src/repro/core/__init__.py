@@ -27,6 +27,8 @@ from repro.core.nffg import (Requirement, ResourceView, SAP, ServiceGraph,
                              SGLink, VNFNode)
 from repro.core.orchestrator import (DeployedChain, Orchestrator,
                                      OrchestratorError)
+from repro.core.recovery import (CHAIN_FAILED, CHAIN_HEALTHY,
+                                 CHAIN_RECOVERING, RecoveryManager)
 from repro.core.service import ServiceLayer, ServiceRequest
 from repro.core.sla import (OK, RequirementReport, SLAError, SLAMonitor,
                             VIOLATED, WARN)
@@ -35,6 +37,9 @@ from repro.core.sgfile import (load_service_graph, load_topology,
 
 __all__ = [
     "BacktrackingMapper",
+    "CHAIN_FAILED",
+    "CHAIN_HEALTHY",
+    "CHAIN_RECOVERING",
     "CatalogEntry",
     "CongestionAwareMapper",
     "DeployedChain",
@@ -47,6 +52,7 @@ __all__ = [
     "OK",
     "Orchestrator",
     "OrchestratorError",
+    "RecoveryManager",
     "Requirement",
     "RequirementReport",
     "ResourceView",

@@ -31,6 +31,7 @@ from repro.core.mapping import (BacktrackingMapper, CongestionAwareMapper,
 from repro.core.monitor import VNFMonitor
 from repro.core.nffg import ServiceGraph
 from repro.core.orchestrator import DeployedChain, Orchestrator
+from repro.core.recovery import RecoveryManager
 from repro.core.service import ServiceLayer, ServiceRequest
 from repro.core.sgfile import load_service_graph
 from repro.core.sla import SLAMonitor
@@ -101,14 +102,27 @@ class ESCAPE:
             self._build_inband_control_network(control_latency)
         else:
             for container in net.vnf_containers():
-                pair = TransportPair(self.sim, latency=control_latency)
-                self.agents[container.name] = VNFAgent(container,
-                                                       pair.server)
-                self.netconf_clients[container.name] = NetconfClient(
-                    pair.client)
+                client = NetconfClient(
+                    self._outband_dial(container, control_latency),
+                    default_timeout=self.RPC_TIMEOUT)
+                client.set_transport_factory(
+                    lambda c=container: self._outband_dial(
+                        c, control_latency))
+                self.netconf_clients[container.name] = client
 
         # orchestrator + service layer
         self._finish_init(net)
+
+    RPC_TIMEOUT = 10.0  # per-RPC deadline on outband NETCONF sessions
+
+    def _outband_dial(self, container, control_latency: float):
+        """Fresh control pipe to ``container``: a new transport pair
+        with the agent re-homed on the server end.  Used at
+        construction and by client reconnects after a session died
+        (e.g. a chaos-injected management blackhole)."""
+        pair = TransportPair(self.sim, latency=control_latency)
+        self.agents[container.name] = VNFAgent(container, pair.server)
+        return pair.client
 
     def _build_inband_control_network(self,
                                       control_latency: float) -> None:
@@ -150,6 +164,9 @@ class ESCAPE:
         self.service_layer = ServiceLayer(self.orchestrator,
                                           self.mappers["shortest-path"])
         self.recorder = FlightRecorder(net, self.telemetry)
+        self.recovery = RecoveryManager(self.orchestrator, net)
+        self.recovery.watch_discovery(self.discovery)
+        self.chaos_engines: list = []
         self.sla_monitors: Dict[str, SLAMonitor] = {}
         self._m_service_deploys = self.telemetry.metrics.counter(
             "service.layer.deploys", "service requests submitted")
@@ -182,6 +199,12 @@ class ESCAPE:
         registry.gauge("netem.link.delivered").set(
             link_stats["delivered"])
         registry.gauge("netem.link.dropped").set(link_stats["dropped"])
+        registry.gauge("netem.link.dropped_down").set(
+            link_stats["dropped_down"])
+        registry.gauge("netem.link.dropped_loss").set(
+            link_stats["dropped_loss"])
+        registry.gauge("netem.link.dropped_queue").set(
+            link_stats["dropped_queue"])
         registry.gauge("netem.link.delivered_bytes").set(
             link_stats["delivered_bytes"])
         registry.gauge("netem.link.max_utilization").set(
@@ -309,6 +332,18 @@ class ESCAPE:
             monitor.stop()
         self.service_layer.terminate(name)
 
+    def inject_chaos(self, scenario) -> "ChaosEngine":
+        """Arm a chaos scenario (a :class:`~repro.chaos.ChaosScenario`,
+        a dict, a JSON string, or a file path) against this instance.
+        Faults fire as the simulation advances; the recovery manager
+        repairs what they break."""
+        from repro.chaos import ChaosEngine, ChaosScenario
+        if not isinstance(scenario, ChaosScenario):
+            scenario = ChaosScenario.load(scenario)
+        engine = ChaosEngine(self, scenario).arm()
+        self.chaos_engines.append(engine)
+        return engine
+
     def monitor(self, chain: DeployedChain,
                 interval: float = 0.5) -> VNFMonitor:
         """Demo step (5): a Clicky-style monitor on a running chain."""
@@ -345,6 +380,14 @@ class ESCAPE:
             "sla": slas,
             "alerts": alerts,
             "recorder": self.recorder.status(),
+            "recovery": {
+                "chain_state": dict(self.recovery.chain_state),
+                "unrecovered": self.recovery.unrecovered(),
+                "pending": self.recovery.pending(),
+                "repairs": len([action for action
+                                in self.recovery.actions
+                                if action.get("ok")]),
+            },
         }
 
     def status(self) -> dict:
@@ -421,8 +464,9 @@ class ESCAPE:
     def cli(self) -> CLI:
         """The interactive console: Mininet-style network commands plus
         ESCAPE service commands (services / deploy / undeploy / migrate
-        / topology / metrics / trace) and the observability commands
-        (health / sla / events / record)."""
+        / topology / metrics / trace), the observability commands
+        (health / sla / events / record) and fault-injection commands
+        (chaos)."""
         console = CLI(self.net)
         console.commands.update({
             "services": self._cli_services,
@@ -438,6 +482,7 @@ class ESCAPE:
             "sla": self._cli_sla,
             "events": self._cli_events,
             "record": self._cli_record,
+            "chaos": self._cli_chaos,
         })
         return console
 
@@ -621,6 +666,59 @@ class ESCAPE:
         return ("usage: record [list|status] | start <link|node1 node2> "
                 "| chain <service> | stop <tap|all> | pcap <file> "
                 "[trace-id]")
+
+    def _cli_chaos(self, args) -> str:
+        if not args or args[0] == "status":
+            if not self.chaos_engines:
+                return ("no chaos scenarios armed "
+                        "(chaos run <scenario.json>)")
+            lines = []
+            for engine in self.chaos_engines:
+                lines.append("%s: seed=%d, %d injected, %d active"
+                             % (engine.scenario.name,
+                                engine.scenario.seed,
+                                len(engine.injections),
+                                len(engine.active)))
+                for record in engine.injections:
+                    note = (" (skipped: %s)" % record["skipped"]
+                            if "skipped" in record else "")
+                    lines.append("  %.3f %-18s %s%s"
+                                 % (record["time"], record["kind"],
+                                    record["target"], note))
+            return "\n".join(lines)
+        command, rest = args[0], args[1:]
+        if command == "run":
+            if len(rest) != 1:
+                return "usage: chaos run <scenario.json path>"
+            try:
+                engine = self.inject_chaos(rest[0])
+            except Exception as exc:
+                return "*** %s" % exc
+            return ("armed %s: %d fault(s), seed %d"
+                    % (engine.scenario.name,
+                       len(engine.scenario.faults),
+                       engine.scenario.seed))
+        if command == "heal":
+            healed = sum(engine.heal_all()
+                         for engine in self.chaos_engines)
+            return "healed %d active fault(s)" % healed
+        if command == "recovery":
+            lines = ["%d repair(s), %d pending, unrecovered: %s"
+                     % (len([a for a in self.recovery.actions
+                             if a.get("ok")]),
+                        len(self.recovery.pending()),
+                        ", ".join(self.recovery.unrecovered()) or "none")]
+            for action in self.recovery.actions:
+                if action.get("ok"):
+                    lines.append("  %.3f %-8s %-24s mttr=%.3fs"
+                                 % (action["time"], action["kind"],
+                                    action["target"], action["mttr"]))
+                else:
+                    lines.append("  %.3f %-8s %-24s GAVE UP: %s"
+                                 % (action["time"], action["kind"],
+                                    action["target"], action["error"]))
+            return "\n".join(lines)
+        return "usage: chaos [status] | run <scenario.json> | heal | recovery"
 
     def _cli_catalog(self, args) -> str:
         lines = []

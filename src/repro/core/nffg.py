@@ -191,6 +191,9 @@ class ResourceView:
 
     def __init__(self):
         self.graph = nx.Graph()
+        # substrate edges currently marked down (frozenset node pairs);
+        # kept separately so the fault-free path pays one falsy check
+        self._down_edges: set = set()
 
     # -- construction -------------------------------------------------------
 
@@ -210,6 +213,26 @@ class ResourceView:
                  bandwidth: Optional[float] = None) -> None:
         self.graph.add_edge(node1, node2, delay=delay,
                             bandwidth=bandwidth, bw_used=0.0)
+
+    # -- substrate link state -------------------------------------------------
+
+    def set_link_up(self, node1: str, node2: str, up: bool) -> None:
+        """Mark a substrate edge (un)usable for routing.  Down edges
+        are excluded from :meth:`shortest_path` so re-routes steer
+        around them; existing reservations are untouched."""
+        if not self.graph.has_edge(node1, node2):
+            raise ValueError("no substrate link %s--%s" % (node1, node2))
+        key = frozenset((node1, node2))
+        if up:
+            self._down_edges.discard(key)
+        else:
+            self._down_edges.add(key)
+
+    def link_is_up(self, node1: str, node2: str) -> bool:
+        return frozenset((node1, node2)) not in self._down_edges
+
+    def down_links(self) -> List[tuple]:
+        return sorted(tuple(sorted(pair)) for pair in self._down_edges)
 
     # -- resource bookkeeping -------------------------------------------------
 
@@ -293,11 +316,13 @@ class ResourceView:
         """
         if src == dst:
             return self._hairpin(src, min_bandwidth)
-        if min_bandwidth > 0:
+        if min_bandwidth > 0 or self._down_edges:
             usable = [(a, b) for a, b, data in self.graph.edges(data=True)
-                      if data["bandwidth"] is None
-                      or data["bandwidth"] - data["bw_used"]
-                      >= min_bandwidth - 1e-9]
+                      if (frozenset((a, b)) not in self._down_edges)
+                      and (min_bandwidth <= 0
+                           or data["bandwidth"] is None
+                           or data["bandwidth"] - data["bw_used"]
+                           >= min_bandwidth - 1e-9)]
             graph = self.graph.edge_subgraph(usable)
             if src not in graph or dst not in graph:
                 return None
@@ -314,6 +339,8 @@ class ResourceView:
         best_delay = None
         for neighbor in self.graph.neighbors(node):
             if self.kind(neighbor) != self.SWITCH:
+                continue
+            if frozenset((node, neighbor)) in self._down_edges:
                 continue
             # the hairpin crosses the link twice, so twice the bandwidth
             # must be free on it

@@ -143,6 +143,12 @@ class DeployedChain:
         self.path_ids = path_ids
         # (link.src, link.dst) -> steering path id, for migration
         self.segment_paths = dict(segment_paths or {})
+        # return-path bookkeeping, filled in by deploy(): mode, the
+        # steering ids and (direct mode) the substrate node path — so
+        # link-down recovery can detect and re-install reply steering
+        self.return_mode = "none"
+        self.return_path_ids: List[str] = []
+        self.return_substrate_path: Optional[List[str]] = None
         self.active = True
 
     def migrate(self, vnf_name: str, target_container: str) -> None:
@@ -210,6 +216,9 @@ class Orchestrator:
             "deploy attempts that raised (mapping or realization)")
         self._m_migrations = metrics.counter(
             "core.orchestrator.migrations", "VNF migrations completed")
+        self._m_restarts = metrics.counter(
+            "core.orchestrator.restarts",
+            "crashed VNF instances replaced in place")
         self._m_map_calls = metrics.counter(
             "core.mapping.map_calls", "mapper invocations")
         self._m_map_rejected = metrics.counter(
@@ -279,12 +288,15 @@ class Orchestrator:
                             sg, mapping, vnfs, link, base_match)
                     path_ids.append(path_id)
                     segment_paths[(link.src, link.dst)] = path_id
+                return_ids: List[str] = []
+                return_substrate: Optional[List[str]] = None
                 if return_path == "direct":
-                    path_ids.extend(self._install_return_path(sg,
-                                                              base_match))
+                    return_ids, return_substrate = \
+                        self._install_return_path(sg, base_match)
                 elif return_path == "chain":
-                    path_ids.extend(self._install_chain_return(
-                        sg, mapping, vnfs, base_match))
+                    return_ids = self._install_chain_return(
+                        sg, mapping, vnfs, base_match)
+                path_ids.extend(return_ids)
             except Exception as exc:
                 self._m_deploy_failures.inc()
                 events.error("core.orchestrator",
@@ -295,6 +307,9 @@ class Orchestrator:
         chain = DeployedChain(self, sg, mapping, mapper, vnfs, path_ids,
                               segment_paths)
         chain.base_match = base_match
+        chain.return_mode = return_path
+        chain.return_path_ids = return_ids
+        chain.return_substrate_path = return_substrate
         self.deployed[sg.name] = chain
         self._m_deploys.inc()
         self._m_deploy_time.observe(self.net.sim.now - started_at)
@@ -444,9 +459,13 @@ class Orchestrator:
             raise OrchestratorError("path %r crosses no switch" % (path,))
         return hops
 
-    def _install_return_path(self, sg: ServiceGraph,
-                             base_match: Match) -> List[str]:
-        """Direct (chain-bypassing) steering for reply traffic."""
+    def _install_return_path(self, sg: ServiceGraph, base_match: Match
+                             ) -> Tuple[List[str], List[str]]:
+        """Direct (chain-bypassing) steering for reply traffic.
+
+        Returns the steering path ids and the substrate node path, so
+        callers can later detect when a failed link invalidates it.
+        """
         source, sink = self._chain_endpoints(sg)
         path = self.view.shortest_path(sink, source)
         if path is None:
@@ -462,7 +481,7 @@ class Orchestrator:
         self._path_counter += 1
         path_id = "%s/return/%d" % (sg.name, self._path_counter)
         self.steering.install_path(path_id, hops, reverse_match)
-        return [path_id]
+        return [path_id], path
 
     def _install_chain_return(self, sg: ServiceGraph, mapping: Mapping,
                               vnfs: Dict[str, DeployedVNF],
@@ -519,7 +538,7 @@ class Orchestrator:
     # -- migration ------------------------------------------------------------
 
     def migrate_vnf(self, chain: DeployedChain, vnf_name: str,
-                    target_container: str) -> None:
+                    target_container: str, force: bool = False) -> None:
         """Move a chain VNF to ``target_container`` and re-steer.
 
         Make-before-break: the replacement instance starts on the
@@ -527,6 +546,11 @@ class Orchestrator:
         then the old instance stops.  Raises OrchestratorError (leaving
         the chain on its old placement) when the target cannot host the
         VNF or no feasible re-route exists.
+
+        ``force`` tolerates a failing stop of the old instance (its
+        container crashed or its agent is unreachable) — the chain
+        still moves over; the stranded instance is reaped when its
+        container returns.
         """
         if not chain.active:
             raise OrchestratorError("chain %r is not active"
@@ -567,9 +591,22 @@ class Orchestrator:
             raise
 
         # break: stop the old instance, release its resources
-        old_client = self.netconf_client(deployed.container)
-        old_client.rpc("stopVNF", VNF_NS,
-                       {"id": deployed.vnf_id}).result(self.net.sim)
+        try:
+            old_client = self.netconf_client(deployed.container)
+            # under force the old container is likely unreachable: use
+            # a short deadline so failover doesn't stall on the timeout
+            old_client.rpc("stopVNF", VNF_NS,
+                           {"id": deployed.vnf_id}).result(
+                self.net.sim, timeout=2.0 if force else 10.0)
+        except Exception as exc:
+            if not force:
+                raise
+            self.telemetry.events.warn(
+                "core.orchestrator", "orchestrator.migrate_skip_stop",
+                "%s/%s: old instance on %s not stopped (%s)"
+                % (chain.sg.name, vnf_name, old_placement, exc),
+                service=chain.sg.name, vnf=vnf_name,
+                container=old_placement)
         self.view.release_container(old_placement, cpu, mem, ports)
         self._m_migrations.inc()
         self.telemetry.events.info(
@@ -579,9 +616,11 @@ class Orchestrator:
             service=chain.sg.name, vnf=vnf_name)
 
     def _reroute_segments(self, chain: DeployedChain,
-                          vnf_name: str) -> None:
+                          vnf_name: Optional[str] = None,
+                          affected_links: Optional[list] = None) -> None:
         """Recompute + reinstall the steering of every SG link touching
-        ``vnf_name`` under the chain's updated placement.
+        ``vnf_name`` (or the explicit ``affected_links`` set) under the
+        chain's updated placement.
 
         Break-before-make *across the affected set*: old and new
         segments can carry identical (match, in-port) entries on shared
@@ -592,8 +631,11 @@ class Orchestrator:
         sg = chain.sg
         base_match = getattr(chain, "base_match", None) \
             or self._default_match(sg)
-        affected = [link for link in sg.links
-                    if vnf_name in (link.src, link.dst)]
+        if affected_links is not None:
+            affected = list(affected_links)
+        else:
+            affected = [link for link in sg.links
+                        if vnf_name in (link.src, link.dst)]
         # phase 1: route everything (bandwidth moves over atomically)
         new_paths = {}
         for link in affected:
@@ -630,6 +672,110 @@ class Orchestrator:
                                            chain.vnfs, link, base_match)
             chain.path_ids.append(new_id)
             chain.segment_paths[(link.src, link.dst)] = new_id
+
+    # -- resilience (driven by repro.core.recovery) ---------------------------
+
+    def restart_vnf(self, chain: DeployedChain, vnf_name: str) -> None:
+        """Replace a crashed VNF instance in place (same container).
+
+        Best-effort reap of the crashed instance first (``stopVNF``
+        frees the budget the zombie still holds), then a fresh start
+        from the catalog and a re-install of the segments touching it —
+        the replacement may splice to different container interfaces.
+        The resource view is untouched: placement does not change.
+        """
+        if not chain.active:
+            raise OrchestratorError("chain %r is not active"
+                                    % chain.sg.name)
+        deployed = chain.vnfs.get(vnf_name)
+        if deployed is None:
+            raise OrchestratorError("chain has no VNF %r" % vnf_name)
+        client = self.netconf_client(deployed.container)
+        try:
+            client.rpc("stopVNF", VNF_NS,
+                       {"id": deployed.vnf_id}).result(self.net.sim)
+        except Exception:
+            pass  # already reaped, or raced with a container outage
+        new_deployed = self._start_vnf(chain.sg, chain.mapping, vnf_name)
+        chain.vnfs[vnf_name] = new_deployed
+        self._reroute_segments(chain, vnf_name)
+        self._m_restarts.inc()
+        self.telemetry.events.info(
+            "core.orchestrator", "orchestrator.restarted",
+            "%s/%s: %s -> %s on %s" % (
+                chain.sg.name, vnf_name, deployed.vnf_id,
+                new_deployed.vnf_id, deployed.container),
+            service=chain.sg.name, vnf=vnf_name,
+            container=deployed.container)
+
+    @staticmethod
+    def _path_uses_edge(path: Optional[List[str]], edge: frozenset) -> bool:
+        if not path:
+            return False
+        return any(frozenset((path[i], path[i + 1])) == edge
+                   for i in range(len(path) - 1))
+
+    def reinstall_return_path(self, chain: DeployedChain) -> None:
+        """Recompute + re-steer a chain's direct return path (after a
+        substrate link failure invalidated the old one)."""
+        if chain.return_mode != "direct":
+            return
+        base_match = getattr(chain, "base_match", None) \
+            or self._default_match(chain.sg)
+        for path_id in chain.return_path_ids:
+            try:
+                self.steering.remove_path(path_id)
+            except Exception:
+                pass
+            if path_id in chain.path_ids:
+                chain.path_ids.remove(path_id)
+        new_ids, substrate = self._install_return_path(chain.sg,
+                                                       base_match)
+        chain.return_path_ids = new_ids
+        chain.return_substrate_path = substrate
+        chain.path_ids.extend(new_ids)
+
+    def chains_over_edge(self, node1: str, node2: str) -> List[str]:
+        """Names of deployed chains whose steering traverses substrate
+        edge ``node1 -- node2`` (segment paths or direct return path)."""
+        edge = frozenset((node1, node2))
+        return sorted(
+            chain.sg.name for chain in self.deployed.values()
+            if any(self._path_uses_edge(
+                chain.mapping.link_paths[(link.src, link.dst)], edge)
+                for link in chain.sg.links)
+            or self._path_uses_edge(chain.return_substrate_path, edge))
+
+    def reroute_chains_for_edge(self, node1: str, node2: str) -> List[str]:
+        """Re-route every deployed chain mapped over substrate edge
+        ``node1 -- node2`` (just marked down in the resource view).
+
+        Returns the names of the chains that were re-steered.  Raises
+        OrchestratorError when some segment has no feasible detour —
+        callers decide whether to retry (e.g. after the link heals).
+        """
+        edge = frozenset((node1, node2))
+        rerouted: List[str] = []
+        for chain in list(self.deployed.values()):
+            affected = [
+                link for link in chain.sg.links
+                if self._path_uses_edge(
+                    chain.mapping.link_paths[(link.src, link.dst)], edge)]
+            touched = False
+            if affected:
+                self._reroute_segments(chain, affected_links=affected)
+                touched = True
+            if self._path_uses_edge(chain.return_substrate_path, edge):
+                self.reinstall_return_path(chain)
+                touched = True
+            if touched:
+                rerouted.append(chain.sg.name)
+                self.telemetry.events.info(
+                    "core.orchestrator", "orchestrator.rerouted",
+                    "%s re-steered around %s--%s" % (chain.sg.name,
+                                                     node1, node2),
+                    service=chain.sg.name, edge="%s--%s" % (node1, node2))
+        return rerouted
 
     # -- teardown -------------------------------------------------------------
 

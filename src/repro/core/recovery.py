@@ -1,0 +1,397 @@
+"""Self-healing orchestration: watch the fault timeline, repair chains.
+
+The :class:`RecoveryManager` closes the loop the paper leaves to the
+operator: it subscribes to the unified telemetry event log (where the
+infrastructure layer already reports ``vnf.crashed``, ``container.down``
+/ ``container.up`` and ``link.down`` / ``link.up``) and drives the
+orchestrator's repair primitives:
+
+* a crashed VNF on a healthy container is **restarted in place**
+  (:meth:`~repro.core.orchestrator.Orchestrator.restart_vnf`),
+* a VNF stranded on a down container **fails over** to another
+  container with capacity (``migrate_vnf(..., force=True)``),
+* chains mapped over a down substrate link are **re-routed** around it
+  (:meth:`~repro.core.orchestrator.Orchestrator.reroute_chains_for_edge`),
+* FAILED zombie instances are **reaped** when their container returns,
+  freeing the budget they still hold.
+
+Reactions are scheduled ``reaction_delay`` after the fault event (a
+recovery action must never run inside the emitting callback) and retry
+with exponential backoff up to ``max_attempts``.  Every repair observes
+its fault-to-fixed time into the ``core.recovery.mttr`` histogram
+(labelled by fault kind) and flips the per-service
+``core.recovery.chain_state`` gauge (0 healthy / 1 recovering /
+2 failed).  Because reactions ride the simulator clock and candidate
+selection is sorted, a seeded chaos run produces an identical recovery
+timeline every time.
+"""
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.orchestrator import Orchestrator, OrchestratorError
+from repro.netem import Network
+from repro.netem.vnf import FAILED as VNF_FAILED
+from repro.telemetry import Event, current as current_telemetry
+
+CHAIN_HEALTHY = 0
+CHAIN_RECOVERING = 1
+CHAIN_FAILED = 2
+
+
+class RecoveryManager:
+    """Event-log-driven fault repair for deployed chains."""
+
+    def __init__(self, orchestrator: Orchestrator, net: Network,
+                 reaction_delay: float = 0.05, max_attempts: int = 3,
+                 retry_backoff: float = 0.5, enabled: bool = True):
+        self.orchestrator = orchestrator
+        self.net = net
+        self.sim = net.sim
+        self.enabled = enabled
+        self.reaction_delay = reaction_delay
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self.telemetry = current_telemetry()
+        # completed repair attempts, oldest first (the recovery ledger:
+        # deterministic for a fixed seed, asserted on by chaos tests)
+        self.actions: List[dict] = []
+        self._inflight: Set[Tuple[str, str]] = set()
+        self.chain_state: Dict[str, int] = {}
+        metrics = self.telemetry.metrics
+        self._m_repairs = metrics.counter(
+            "core.recovery.repairs", "faults repaired")
+        self._m_attempts = metrics.counter(
+            "core.recovery.attempts", "repair attempts started")
+        self._m_failures = metrics.counter(
+            "core.recovery.failures",
+            "faults abandoned after max_attempts")
+        self.telemetry.events.subscribe(self._on_event)
+
+    # -- instruments --------------------------------------------------------
+
+    def _mttr(self, fault_kind: str):
+        return self.telemetry.metrics.histogram(
+            "core.recovery.mttr",
+            "simulated seconds from fault event to completed repair",
+            labels={"fault": fault_kind})
+
+    def _set_chain_state(self, service: str, state: int) -> None:
+        self.chain_state[service] = state
+        self.telemetry.metrics.gauge(
+            "core.recovery.chain_state",
+            "0 healthy / 1 recovering / 2 failed",
+            labels={"service": service}).set(state)
+
+    # -- status -------------------------------------------------------------
+
+    def pending(self) -> List[Tuple[str, str]]:
+        """Repairs scheduled or retrying right now."""
+        return sorted(self._inflight)
+
+    def unrecovered(self) -> List[str]:
+        """Services currently degraded: recovering or given up on."""
+        return sorted(name for name, state in self.chain_state.items()
+                      if state != CHAIN_HEALTHY)
+
+    # -- event intake -------------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        if not self.enabled:
+            return
+        if event.name == "vnf.crashed":
+            vnf_id = event.tags.get("vnf_id")
+            if vnf_id:
+                self._schedule(("vnf", vnf_id), self._recover_vnf,
+                               vnf_id, event.time)
+        elif event.name == "link.down":
+            link_name = event.tags.get("link")
+            if link_name:
+                self._schedule(("link", link_name), self._recover_link,
+                               link_name, event.time)
+        elif event.name == "link.up":
+            link_name = event.tags.get("link")
+            if link_name:
+                self.sim.schedule(0.0, self._note_link_up, link_name)
+        elif event.name == "container.up":
+            container = event.tags.get("container")
+            if container:
+                self._schedule(("reap", container), self._reap_zombies,
+                               container, event.time)
+
+    def watch_discovery(self, discovery) -> None:
+        """Also react to POX-layer LLDP link-timeout detection — the
+        control-plane's own view of a dead link, which catches failures
+        the infrastructure layer never reported."""
+        from repro.pox.discovery import LinkEvent
+        discovery.add_listener(LinkEvent, self._on_link_event)
+
+    def _on_link_event(self, event) -> None:
+        if event.added or not self.enabled:
+            return
+        name1 = self._node_of_dpid(event.dpid1)
+        name2 = self._node_of_dpid(event.dpid2)
+        if name1 is None or name2 is None:
+            return
+        view = self.orchestrator.view
+        try:
+            if not view.link_is_up(name1, name2):
+                return  # already being handled via the netem event
+        except Exception:
+            return
+        edge = "%s--%s" % tuple(sorted((name1, name2)))
+        self._schedule(("edge", edge), self._recover_edge,
+                       (name1, name2), self.sim.now)
+
+    def _node_of_dpid(self, dpid: int) -> Optional[str]:
+        for switch in self.net.switches():
+            if switch.dpid == dpid:
+                return switch.name
+        return None
+
+    # -- scheduling & bookkeeping ------------------------------------------
+
+    def _schedule(self, key: Tuple[str, str], func, target,
+                  fault_time: float) -> None:
+        if key in self._inflight:
+            return
+        self._inflight.add(key)
+        self.telemetry.events.info(
+            "core.recovery", "recovery.scheduled",
+            "%s %s in %.3fs" % (key[0], key[1], self.reaction_delay),
+            kind=key[0], target=str(key[1]))
+        self.sim.schedule(self.reaction_delay, func, target, fault_time, 1)
+
+    def _retry_or_fail(self, key: Tuple[str, str],
+                       services: List[str], exc: Exception, func,
+                       target, fault_time: float, attempt: int) -> None:
+        if attempt >= self.max_attempts:
+            self._inflight.discard(key)
+            self._m_failures.inc()
+            for service in services:
+                self._set_chain_state(service, CHAIN_FAILED)
+            self.actions.append({
+                "time": self.sim.now, "kind": key[0],
+                "target": key[1], "ok": False, "attempts": attempt,
+                "error": str(exc)})
+            self.telemetry.events.error(
+                "core.recovery", "recovery.gave_up",
+                "%s %s after %d attempts: %s" % (key[0], key[1],
+                                                 attempt, exc),
+                kind=key[0], target=str(key[1]), attempts=attempt)
+            return
+        delay = self.retry_backoff * (2 ** (attempt - 1))
+        self.telemetry.events.warn(
+            "core.recovery", "recovery.retry",
+            "%s %s attempt %d/%d failed (%s); retrying in %.3fs"
+            % (key[0], key[1], attempt, self.max_attempts, exc, delay),
+            kind=key[0], target=str(key[1]), attempt=attempt)
+        self.sim.schedule(delay, func, target, fault_time, attempt + 1)
+
+    def _repaired(self, key: Tuple[str, str], services: List[str],
+                  fault_kind: str, fault_time: float,
+                  attempt: int, **extra) -> None:
+        self._inflight.discard(key)
+        mttr = self.sim.now - fault_time
+        self._mttr(fault_kind).observe(mttr)
+        self._m_repairs.inc()
+        self.actions.append({
+            "time": self.sim.now, "kind": key[0], "target": key[1],
+            "services": list(services), "ok": True,
+            "attempts": attempt, "mttr": mttr, **extra})
+        for service in services:
+            self._set_chain_state(service, CHAIN_HEALTHY)
+        self.telemetry.events.info(
+            "core.recovery", "recovery.repaired",
+            "%s %s repaired in %.3fs" % (key[0], key[1], mttr),
+            kind=key[0], target=str(key[1]), fault=fault_kind,
+            mttr=mttr, **extra)
+
+    def _abandon(self, key: Tuple[str, str]) -> None:
+        """The fault resolved itself (or its target is gone)."""
+        self._inflight.discard(key)
+
+    # -- repairs ------------------------------------------------------------
+
+    def _find_vnf(self, vnf_id: str):
+        for name in sorted(self.orchestrator.deployed):
+            chain = self.orchestrator.deployed[name]
+            for vnf_name in sorted(chain.vnfs):
+                if chain.vnfs[vnf_name].vnf_id == vnf_id:
+                    return chain, vnf_name
+        return None, None
+
+    def _failover_candidates(self, exclude: str) -> List[str]:
+        return [name for name in sorted(self.orchestrator.view.containers())
+                if name != exclude
+                and getattr(self.net.get(name), "up", True)]
+
+    def _recover_vnf(self, vnf_id: str, fault_time: float,
+                     attempt: int) -> None:
+        key = ("vnf", vnf_id)
+        chain, vnf_name = self._find_vnf(vnf_id)
+        if chain is None or not chain.active:
+            self._abandon(key)  # undeployed or already replaced
+            return
+        service = chain.sg.name
+        self._set_chain_state(service, CHAIN_RECOVERING)
+        deployed = chain.vnfs[vnf_name]
+        container = self.net.get(deployed.container)
+        self._m_attempts.inc()
+        tracer = self.telemetry.tracer
+        try:
+            if getattr(container, "up", True):
+                action = "restart"
+                with tracer.span("recovery.restart", service=service,
+                                 vnf=vnf_name, attempt=attempt):
+                    self.orchestrator.restart_vnf(chain, vnf_name)
+            else:
+                action = "failover"
+                with tracer.span("recovery.failover", service=service,
+                                 vnf=vnf_name, attempt=attempt):
+                    self._failover(chain, vnf_name, deployed.container)
+        except Exception as exc:
+            self._retry_or_fail(key, [service], exc, self._recover_vnf,
+                                vnf_id, fault_time, attempt)
+            return
+        self._repaired(key, [service], "vnf.crashed", fault_time,
+                       attempt, action=action, vnf=vnf_name,
+                       container=chain.vnfs[vnf_name].container)
+
+    def _failover(self, chain, vnf_name: str, dead_container: str) -> None:
+        last_error: Optional[Exception] = None
+        for target in self._failover_candidates(dead_container):
+            try:
+                self.orchestrator.migrate_vnf(chain, vnf_name, target,
+                                              force=True)
+                return
+            except Exception as exc:
+                last_error = exc
+        raise last_error or OrchestratorError(
+            "no container can host %s/%s" % (chain.sg.name, vnf_name))
+
+    def _recover_link(self, link_name: str, fault_time: float,
+                      attempt: int) -> None:
+        key = ("link", link_name)
+        try:
+            link = self.net.find_link(link_name)
+        except Exception:
+            self._abandon(key)
+            return
+        if link.up:
+            # the flap healed before we reacted; chains marked
+            # recovering by an earlier attempt are served again
+            self._clear_stranded_over_edge(link.intf1.node.name,
+                                           link.intf2.node.name,
+                                           (CHAIN_RECOVERING,))
+            self._abandon(key)
+            return
+        node1 = link.intf1.node.name
+        node2 = link.intf2.node.name
+        self._repair_edge(key, node1, node2, fault_time, attempt,
+                          self._recover_link, link_name)
+
+    def _recover_edge(self, nodes: Tuple[str, str], fault_time: float,
+                      attempt: int) -> None:
+        """Discovery-detected dead inter-switch edge (no netem event)."""
+        node1, node2 = nodes
+        key = ("edge", "%s--%s" % tuple(sorted(nodes)))
+        self._repair_edge(key, node1, node2, fault_time, attempt,
+                          self._recover_edge, nodes)
+
+    def _repair_edge(self, key: Tuple[str, str], node1: str, node2: str,
+                     fault_time: float, attempt: int, retry_func,
+                     retry_target) -> None:
+        view = self.orchestrator.view
+        try:
+            view.set_link_up(node1, node2, False)
+        except ValueError:
+            self._abandon(key)  # outside the resource graph (mgmt link)
+            return
+        affected = self.orchestrator.chains_over_edge(node1, node2)
+        for service in affected:
+            self._set_chain_state(service, CHAIN_RECOVERING)
+        self._m_attempts.inc()
+        try:
+            with self.telemetry.tracer.span("recovery.reroute",
+                                            edge="%s--%s" % (node1, node2),
+                                            attempt=attempt):
+                rerouted = self.orchestrator.reroute_chains_for_edge(
+                    node1, node2)
+        except Exception as exc:
+            self._retry_or_fail(key, affected, exc, retry_func,
+                                retry_target, fault_time, attempt)
+            return
+        self._repaired(key, sorted(set(rerouted) | set(affected)),
+                       "link.down", fault_time, attempt,
+                       edge="%s--%s" % (node1, node2),
+                       rerouted=len(rerouted))
+
+    def _note_link_up(self, link_name: str) -> None:
+        try:
+            link = self.net.find_link(link_name)
+        except Exception:
+            return
+        node1 = link.intf1.node.name
+        node2 = link.intf2.node.name
+        # parallel trunks collapse into one view edge: only mark it up
+        # again when every member link is back
+        if any(not other.up
+               for other in self.net.links_between(node1, node2)):
+            return
+        try:
+            self.orchestrator.view.set_link_up(node1, node2, True)
+        except ValueError:
+            return
+        # a failed reroute leaves the original steering installed, so
+        # chains stranded by this edge carry traffic again the moment
+        # it returns — reflect that in their state
+        self._clear_stranded_over_edge(node1, node2,
+                                       (CHAIN_RECOVERING, CHAIN_FAILED))
+
+    def _clear_stranded_over_edge(self, node1: str, node2: str,
+                                  states: Tuple[int, ...]) -> None:
+        for service in self.orchestrator.chains_over_edge(node1, node2):
+            if self.chain_state.get(service) in states:
+                self._set_chain_state(service, CHAIN_HEALTHY)
+
+    def _reap_zombies(self, container_name: str, fault_time: float,
+                      attempt: int) -> None:
+        key = ("reap", container_name)
+        try:
+            container = self.net.get(container_name)
+        except Exception:
+            self._abandon(key)
+            return
+        if not getattr(container, "up", True):
+            self._abandon(key)  # went down again; the next up re-arms
+            return
+        live_ids = set()
+        for chain in self.orchestrator.deployed.values():
+            for deployed in chain.vnfs.values():
+                live_ids.add(deployed.vnf_id)
+        zombies = [vnf_id for vnf_id, process
+                   in sorted(container.vnfs.items())
+                   if process.status == VNF_FAILED
+                   and vnf_id not in live_ids]
+        if not zombies:
+            self._abandon(key)
+            return
+        self._m_attempts.inc()
+        try:
+            from repro.netconf.vnf_yang import VNF_NS
+            client = self.orchestrator.netconf_client(container_name)
+            for vnf_id in zombies:
+                client.rpc("stopVNF", VNF_NS,
+                           {"id": vnf_id}).result(self.sim)
+        except Exception as exc:
+            self._retry_or_fail(key, [], exc, self._reap_zombies,
+                                container_name, fault_time, attempt)
+            return
+        self._repaired(key, [], "container.down", fault_time, attempt,
+                       reaped=len(zombies), container=container_name)
+
+    def __repr__(self) -> str:
+        return "RecoveryManager(%d repairs, %d pending, %s)" % (
+            len([a for a in self.actions if a.get("ok")]),
+            len(self._inflight),
+            "enabled" if self.enabled else "disabled")

@@ -25,7 +25,7 @@ from repro.netconf.agent import VNFAgent
 from repro.netconf.client import NetconfClient, PendingReply
 from repro.netconf.datastore import Datastore, DatastoreError
 from repro.netconf.errors import (FramingError, NetconfError, RpcError,
-                                  SessionError)
+                                  RpcTimeout, SessionError)
 from repro.netconf.framing import (ChunkedFramer, EomFramer)
 from repro.netconf.messages import (BASE_NS, build_hello, build_rpc,
                                     build_rpc_error, build_rpc_reply,
@@ -47,6 +47,7 @@ __all__ = [
     "NetconfServer",
     "PendingReply",
     "RpcError",
+    "RpcTimeout",
     "SessionError",
     "TransportPair",
     "VNFAgent",

@@ -1,10 +1,24 @@
-"""NETCONF client (the orchestrator's manager side)."""
+"""NETCONF client (the orchestrator's manager side).
+
+Resilience model (exercised by :mod:`repro.chaos`):
+
+* every RPC can carry a per-request deadline — on expiry the pending
+  handle fails exactly once, deregisters, and any late reply is
+  counted (``netconf.client.late_replies``) but never resolves it,
+* :meth:`rpc_retry` / :meth:`call_with_retry` wrap an operation in
+  exponential-backoff retries (timeouts and transport failures retry;
+  application ``rpc-error`` replies do not),
+* :meth:`reconnect` abandons a dead session and re-runs the hello
+  exchange over a fresh transport produced by an installed factory —
+  the in-memory analog of re-dialing SSH after a manager crash.
+"""
 
 import itertools
 import xml.etree.ElementTree as ET
 from typing import Callable, Dict, List, Optional
 
-from repro.netconf.errors import NetconfError, RpcError, SessionError
+from repro.netconf.errors import (NetconfError, RpcError, RpcTimeout,
+                                  SessionError)
 from repro.netconf.framing import ChunkedFramer, EomFramer
 from repro.netconf import messages as nc
 from repro.netconf.transport import InMemoryTransport
@@ -16,9 +30,9 @@ class PendingReply:
     """Future-like handle for an in-flight RPC.
 
     Fills in when the rpc-reply arrives; :meth:`result` pumps the
-    simulator until then (usable from top-level driver code, not from
-    inside sim callbacks).  ``on_done`` callbacks support fully
-    event-driven callers.
+    simulator until then (usable from top-level driver code *and* from
+    inside sim callbacks — the simulator supports nested stepping).
+    ``on_done`` callbacks support fully event-driven callers.
     """
 
     def __init__(self, message_id: int):
@@ -26,8 +40,10 @@ class PendingReply:
         self.sent_at: Optional[float] = None
         self.done = False
         self.reply: Optional[ET.Element] = None
-        self.error: Optional[RpcError] = None
+        self.error: Optional[NetconfError] = None
         self._callbacks: List[Callable[["PendingReply"], None]] = []
+        self._expiry = None  # scheduled expiry Event, if a timeout is set
+        self._owner: Optional["NetconfClient"] = None  # for deregistration
 
     def on_done(self, callback: Callable[["PendingReply"], None]) -> None:
         if self.done:
@@ -35,22 +51,39 @@ class PendingReply:
         else:
             self._callbacks.append(callback)
 
-    def _resolve(self, reply: ET.Element) -> None:
-        self.reply = reply
-        self.error = nc.parse_rpc_error(reply)
+    def _settle(self) -> None:
         self.done = True
+        if self._expiry is not None:
+            self._expiry.cancel()
+            self._expiry = None
         callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
             callback(self)
 
+    def _resolve(self, reply: ET.Element) -> None:
+        self.reply = reply
+        self.error = nc.parse_rpc_error(reply)
+        self._settle()
+
+    def _fail(self, error: NetconfError) -> None:
+        """Terminal failure without a reply (timeout, session loss)."""
+        self.error = error
+        self._settle()
+
     def result(self, sim: Simulator, timeout: float = 10.0) -> ET.Element:
         """Run the simulation until the reply lands; raises RpcError on
-        an error reply, NetconfError on timeout."""
+        an error reply, RpcTimeout when the deadline passes."""
         deadline = sim.now + timeout
         while not self.done:
             next_time = sim.peek()
             if next_time is None or next_time > deadline:
-                raise NetconfError("rpc %d timed out" % self.message_id)
+                if self._owner is not None:
+                    # deregister too — a late reply must not find us
+                    self._owner._expire(self.message_id)
+                else:
+                    self._fail(RpcTimeout("rpc %d timed out after %.3fs"
+                                          % (self.message_id, timeout)))
+                break
             sim.step()
         if self.error is not None:
             raise self.error
@@ -62,27 +95,49 @@ class PendingReply:
 
 
 class NetconfClient:
-    """Manager endpoint: hello, rpc issue/track, convenience operations."""
+    """Manager endpoint: hello, rpc issue/track, convenience operations.
+
+    ``default_timeout`` (None = no per-RPC deadline) applies to every
+    request that does not pass its own; expired RPCs raise
+    :class:`RpcTimeout` once and count ``netconf.client.rpc_timeouts``.
+    """
 
     def __init__(self, transport: InMemoryTransport,
-                 capabilities: Optional[List[str]] = None):
+                 capabilities: Optional[List[str]] = None,
+                 default_timeout: Optional[float] = None):
         self.transport = transport
         self.sim = transport.sim
         self.capabilities = list(capabilities or []) or [nc.CAP_BASE_10,
                                                          nc.CAP_BASE_11]
         self.server_capabilities: Optional[List[str]] = None
         self.session_id: Optional[int] = None
+        self.default_timeout = default_timeout
         self._rx_framer = EomFramer()
         self._tx_framer = EomFramer()
         self._message_ids = itertools.count(101)
         self._pending: Dict[int, PendingReply] = {}
+        self._transport_factory: Optional[
+            Callable[[], InMemoryTransport]] = None
         self.closed = False
         self.rpcs_sent = 0
+        self.reconnects = 0
         metrics = current_telemetry().metrics
         self._m_rpcs = metrics.counter(
             "netconf.client.rpcs", "RPCs issued by the orchestrator")
         self._m_rpc_errors = metrics.counter(
             "netconf.client.rpc_errors", "rpc-replies carrying rpc-error")
+        self._m_rpc_timeouts = metrics.counter(
+            "netconf.client.rpc_timeouts",
+            "RPCs that expired before their reply arrived")
+        self._m_late_replies = metrics.counter(
+            "netconf.client.late_replies",
+            "replies that arrived after their RPC already timed out")
+        self._m_retries = metrics.counter(
+            "netconf.client.rpc_retries",
+            "RPC attempts re-issued after a timeout/transport failure")
+        self._m_reconnects = metrics.counter(
+            "netconf.client.reconnects",
+            "sessions re-established over a fresh transport")
         self._m_rpc_latency = metrics.histogram(
             "netconf.client.rpc_latency",
             "simulated request-to-reply seconds")
@@ -118,18 +173,40 @@ class NetconfClient:
         if message_id_text is None:
             return  # unsolicited error without id: nothing to match
         pending = self._pending.pop(int(message_id_text), None)
-        if pending is not None:
-            sent_at = getattr(pending, "sent_at", None)
-            if sent_at is not None:
-                self._m_rpc_latency.observe(self.sim.now - sent_at)
-            pending._resolve(root)
-            if pending.error is not None:
-                self._m_rpc_errors.inc()
+        if pending is None or pending.done:
+            # the RPC already expired (or was never ours): the reply is
+            # late — count it, never resolve the dead handle
+            self._m_late_replies.inc()
+            return
+        sent_at = getattr(pending, "sent_at", None)
+        if sent_at is not None:
+            self._m_rpc_latency.observe(self.sim.now - sent_at)
+        pending._resolve(root)
+        if pending.error is not None:
+            self._m_rpc_errors.inc()
+
+    def _expire(self, message_id: int) -> None:
+        """Deadline passed: deregister and fail the pending handle."""
+        pending = self._pending.pop(message_id, None)
+        if pending is None or pending.done:
+            return
+        self._m_rpc_timeouts.inc()
+        current_telemetry().events.warn(
+            "netconf.client", "rpc.timeout",
+            "rpc %d expired unanswered" % message_id,
+            message_id=message_id, session=self.session_id)
+        pending._fail(RpcTimeout("rpc %d timed out" % message_id))
 
     # -- rpc issue ------------------------------------------------------------
 
-    def request(self, operation: ET.Element) -> PendingReply:
-        """Send one RPC; returns the pending reply handle."""
+    def request(self, operation: ET.Element,
+                timeout: Optional[float] = None) -> PendingReply:
+        """Send one RPC; returns the pending reply handle.
+
+        ``timeout`` (or the client's ``default_timeout``) arms a
+        deadline: on expiry the handle fails with :class:`RpcTimeout`
+        and is deregistered, so a late reply cannot resolve it.
+        """
         if self.closed:
             raise SessionError("session is closed")
         if self.session_id is None:
@@ -138,7 +215,12 @@ class NetconfClient:
         message_id = next(self._message_ids)
         pending = PendingReply(message_id)
         pending.sent_at = self.sim.now
+        pending._owner = self
         self._pending[message_id] = pending
+        deadline = timeout if timeout is not None else self.default_timeout
+        if deadline is not None:
+            pending._expiry = self.sim.schedule(deadline, self._expire,
+                                                message_id)
         self.rpcs_sent += 1
         self._m_rpcs.inc()
         self.transport.send(self._tx_framer.frame(
@@ -148,7 +230,52 @@ class NetconfClient:
     def call(self, operation: ET.Element,
              timeout: float = 10.0) -> ET.Element:
         """request() + result(): the blocking-style convenience."""
-        return self.request(operation).result(self.sim, timeout)
+        pending = self.request(operation, timeout=timeout)
+        try:
+            return pending.result(self.sim, timeout)
+        finally:
+            # whatever ended the wait, never leave the handle registered
+            self._pending.pop(pending.message_id, None)
+
+    def call_with_retry(self, operation: ET.Element, timeout: float = 5.0,
+                        retries: int = 3, backoff: float = 0.25,
+                        backoff_factor: float = 2.0) -> ET.Element:
+        """``call`` with exponential-backoff retries.
+
+        Timeouts and transport/session failures retry (reconnecting
+        first when the session died and a transport factory is
+        installed); an application ``rpc-error`` reply is final and
+        raises immediately.  The last failure propagates after
+        ``retries`` re-attempts.
+        """
+        attempt = 0
+        while True:
+            try:
+                if not self.connected and self._transport_factory:
+                    self.reconnect()
+                return self.call(operation, timeout=timeout)
+            except RpcError:
+                raise  # the server answered: retrying cannot help
+            except NetconfError:
+                attempt += 1
+                if attempt > retries:
+                    raise
+                delay = backoff * (backoff_factor ** (attempt - 1))
+                self._m_retries.inc()
+                current_telemetry().events.warn(
+                    "netconf.client", "rpc.retry",
+                    "attempt %d/%d in %.3fs" % (attempt, retries, delay),
+                    attempt=attempt, backoff=delay,
+                    session=self.session_id)
+                self._sleep(delay)
+
+    def _sleep(self, delay: float) -> None:
+        """Advance simulated time by ``delay`` (nested-pump safe)."""
+        fired: List[bool] = []
+        self.sim.schedule(delay, fired.append, True)
+        while not fired:
+            if not self.sim.step():
+                break
 
     def wait_connected(self, timeout: float = 5.0) -> None:
         """Pump the simulator until the hello exchange completes."""
@@ -158,6 +285,48 @@ class NetconfClient:
             if next_time is None or next_time > deadline:
                 raise SessionError("hello exchange timed out")
             self.sim.step()
+
+    # -- session recovery ------------------------------------------------------
+
+    def set_transport_factory(
+            self, factory: Callable[[], InMemoryTransport]) -> None:
+        """Install the re-dial hook: ``factory()`` must return a fresh
+        transport already wired to a listening server endpoint."""
+        self._transport_factory = factory
+
+    def reconnect(self, timeout: float = 5.0) -> None:
+        """Abandon the current session and re-run the hello exchange
+        over a fresh transport.  Every in-flight RPC fails with
+        SessionError (their replies, if any, would arrive on the dead
+        pipe)."""
+        if self._transport_factory is None:
+            raise SessionError("no transport factory installed; "
+                               "cannot reconnect")
+        for pending in list(self._pending.values()):
+            pending._fail(SessionError("session re-established; rpc %d "
+                                       "abandoned" % pending.message_id))
+        self._pending.clear()
+        old = self.transport
+        old.receiver = None
+        if not old.closed:
+            old.close()
+        self.transport = self._transport_factory()
+        self.sim = self.transport.sim
+        self.session_id = None
+        self.server_capabilities = None
+        self.closed = False
+        self._rx_framer = EomFramer()
+        self._tx_framer = EomFramer()
+        self.reconnects += 1
+        self._m_reconnects.inc()
+        current_telemetry().events.warn(
+            "netconf.client", "session.reconnect",
+            "re-dialing over a fresh transport",
+            reconnects=self.reconnects)
+        self.transport.set_receiver(self._receive)
+        self.transport.send(self._tx_framer.frame(
+            nc.to_xml(nc.build_hello(self.capabilities))))
+        self.wait_connected(timeout)
 
     # -- convenience operations -----------------------------------------------
 
@@ -175,13 +344,26 @@ class NetconfClient:
         return self.request(nc.build_edit_config(config, target,
                                                  default_operation))
 
-    def rpc(self, name: str, namespace: str,
-            params: Optional[Dict[str, str]] = None) -> PendingReply:
-        """Invoke a custom RPC with simple leaf parameters."""
+    def _build_custom(self, name: str, namespace: str,
+                      params: Optional[Dict[str, str]]) -> ET.Element:
         operation = ET.Element(nc.qn(name, namespace))
         for key, value in (params or {}).items():
             ET.SubElement(operation, nc.qn(key, namespace)).text = str(value)
-        return self.request(operation)
+        return operation
+
+    def rpc(self, name: str, namespace: str,
+            params: Optional[Dict[str, str]] = None) -> PendingReply:
+        """Invoke a custom RPC with simple leaf parameters."""
+        return self.request(self._build_custom(name, namespace, params))
+
+    def rpc_retry(self, name: str, namespace: str,
+                  params: Optional[Dict[str, str]] = None,
+                  timeout: float = 5.0, retries: int = 3,
+                  backoff: float = 0.25) -> ET.Element:
+        """Custom RPC via :meth:`call_with_retry` (blocking style)."""
+        return self.call_with_retry(
+            self._build_custom(name, namespace, params),
+            timeout=timeout, retries=retries, backoff=backoff)
 
     def commit(self) -> PendingReply:
         """candidate -> running."""

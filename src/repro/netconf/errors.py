@@ -15,6 +15,14 @@ class SessionError(NetconfError):
     """Protocol state violation (e.g. rpc before hello)."""
 
 
+class RpcTimeout(NetconfError):
+    """An RPC's reply did not arrive before its deadline.
+
+    Raised exactly once per timed-out RPC: the pending handle expires,
+    deregisters, and a late reply is counted but never resolves it.
+    """
+
+
 class RpcError(NetconfError):
     """An <rpc-error> reply, raised client-side.
 

@@ -28,12 +28,21 @@ class InMemoryTransport:
         self.tx_bytes = 0
         self.rx_bytes = 0
         self._busy_until = 0.0
+        # fault-injection hooks (repro.chaos): a blackholed endpoint
+        # silently eats writes; ``fault_latency`` adds one-way delay
+        # (transport "slowness") on top of the configured latency
+        self.blackhole = False
+        self.fault_latency = 0.0
+        self.blackholed_bytes = 0
 
     def set_receiver(self, callback: Callable[[bytes], None]) -> None:
         self.receiver = callback
 
     def send(self, data: bytes) -> None:
         if self.closed or self.peer is None:
+            return
+        if self.blackhole:
+            self.blackholed_bytes += len(data)
             return
         self.tx_bytes += len(data)
         now = self.sim.now
@@ -43,7 +52,8 @@ class InMemoryTransport:
             self._busy_until = depart
         else:
             depart = now
-        self.sim.schedule(depart - now + self.latency,
+        self.sim.schedule(depart - now + self.latency
+                          + self.fault_latency,
                           self.peer._deliver, data)
 
     def _deliver(self, data: bytes) -> None:

@@ -63,11 +63,20 @@ class Link:
         self._rng = random.Random(hash(self.name) & 0xFFFFFFFF)
         self._dir1 = _Direction()  # intf1 -> intf2
         self._dir2 = _Direction()  # intf2 -> intf1
-        self.dropped = 0
+        # per-cause drop counters: chaos scenarios assert on *why*
+        # frames died, not just how many
+        self.dropped_down = 0
+        self.dropped_loss = 0
+        self.dropped_queue = 0
         self.delivered = 0
         self.delivered_bytes = 0
         intf1.link = self
         intf2.link = self
+
+    @property
+    def dropped(self) -> int:
+        """Total drops across all causes (down + loss + queue-full)."""
+        return self.dropped_down + self.dropped_loss + self.dropped_queue
 
     def other_end(self, intf: Interface) -> Interface:
         if intf is self.intf1:
@@ -89,6 +98,39 @@ class Link:
             events.warn("netem.link", "link.down", self.name,
                         link=self.name)
 
+    def flap(self, down_for: float) -> None:
+        """Take the link down now and bring it back ``down_for``
+        simulated seconds later."""
+        if down_for <= 0:
+            raise ValueError("down_for must be positive, got %r"
+                             % down_for)
+        self.set_up(False)
+        self.sim.schedule(down_for, self.set_up, True)
+
+    def set_degradation(self, loss: Optional[float] = None,
+                        delay: Optional[float] = None,
+                        jitter: Optional[float] = None) -> None:
+        """Change the link's shaping in place (netem-style fault
+        injection); emits a ``link.degraded`` event with the new
+        values so recovery/monitoring can correlate."""
+        if loss is not None:
+            if loss < 0.0 or loss > 1.0:
+                raise ValueError("loss must be in [0,1], got %r" % loss)
+            self.loss = loss
+        if delay is not None:
+            if delay < 0:
+                raise ValueError("delay must be non-negative, got %r"
+                                 % delay)
+            self.delay = delay
+        if jitter is not None:
+            if jitter < 0:
+                raise ValueError("jitter must be non-negative, got %r"
+                                 % jitter)
+            self.jitter = jitter
+        telemetry.current().events.warn(
+            "netem.link", "link.degraded", self.name, link=self.name,
+            loss=self.loss, delay=self.delay, jitter=self.jitter)
+
     def _notify_taps(self, direction: str, intf: Interface,
                      data: bytes) -> None:
         for tap in self.taps:
@@ -99,10 +141,10 @@ class Link:
         if self.taps:
             self._notify_taps("tx", from_intf, data)
         if not self.up:
-            self.dropped += 1
+            self.dropped_down += 1
             return
         if self.loss > 0 and self._rng.random() < self.loss:
-            self.dropped += 1
+            self.dropped_loss += 1
             return
         direction = self._dir1 if from_intf is self.intf1 else self._dir2
         target = self.other_end(from_intf)
@@ -111,7 +153,7 @@ class Link:
             depart = now
         else:
             if direction.queued_packets >= self.max_queue:
-                self.dropped += 1
+                self.dropped_queue += 1
                 return
             serialization = len(data) * 8.0 / self.bandwidth
             depart = max(now, direction.busy_until) + serialization
@@ -126,7 +168,7 @@ class Link:
         if self.bandwidth is not None:
             direction.queued_packets -= 1
         if not self.up:
-            self.dropped += 1
+            self.dropped_down += 1
             return
         self.delivered += 1
         self.delivered_bytes += len(data)

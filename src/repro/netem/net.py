@@ -249,12 +249,15 @@ class Network:
         """Aggregate link telemetry: delivery/drop totals and the peak
         utilisation across finite-bandwidth links (delivered bits over
         elapsed simulated time, as a fraction of link capacity)."""
-        delivered = dropped = delivered_bytes = 0
+        delivered = delivered_bytes = 0
+        dropped_down = dropped_loss = dropped_queue = 0
         max_utilization = 0.0
         elapsed = self.sim.now
         for link in self.links:
             delivered += link.delivered
-            dropped += link.dropped
+            dropped_down += link.dropped_down
+            dropped_loss += link.dropped_loss
+            dropped_queue += link.dropped_queue
             delivered_bytes += link.delivered_bytes
             if link.bandwidth and elapsed > 0:
                 utilization = (link.delivered_bytes * 8.0
@@ -263,10 +266,20 @@ class Network:
                     max_utilization = utilization
         return {
             "delivered": delivered,
-            "dropped": dropped,
+            "dropped": dropped_down + dropped_loss + dropped_queue,
+            "dropped_down": dropped_down,
+            "dropped_loss": dropped_loss,
+            "dropped_queue": dropped_queue,
             "delivered_bytes": delivered_bytes,
             "max_utilization": max_utilization,
         }
+
+    def find_link(self, name: str):
+        """Look up a link by its name (``intf1<->intf2`` by default)."""
+        for link in self.links:
+            if link.name == name:
+                return link
+        raise NetworkError("no link named %r" % name)
 
     def ping_all(self, timeout: float = 5.0) -> Tuple[int, int]:
         """Ping between every ordered host pair (Mininet's pingall).

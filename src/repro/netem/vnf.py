@@ -10,6 +10,7 @@ attached switch — implemented here as :meth:`start_vnf`,
 
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.click import Router
 from repro.click.elements.device import Device
 from repro.netem.interface import Interface
@@ -71,6 +72,7 @@ class VNFContainer(Node):
             raise ValueError("unknown isolation model %r" % isolation)
         self.budget = ResourceBudget(cpu, mem)
         self.isolation = isolation
+        self.up = True
         self.vnfs: Dict[str, VNFProcess] = {}
         self.mgmt_interface: Optional[Interface] = None
         # (vnf_id, device-name) -> interface name for active splices
@@ -92,6 +94,8 @@ class VNFContainer(Node):
         FromDevice/ToDevice elements reference; they start detached and
         are wired to container interfaces with :meth:`connect_vnf`.
         """
+        if not self.up:
+            raise ResourceError("%s: container is down" % self.name)
         if vnf_id in self.vnfs:
             raise ValueError("%s: VNF %r already running"
                              % (self.name, vnf_id))
@@ -120,9 +124,49 @@ class VNFContainer(Node):
         for devname in list(process.devices):
             self._unsplice(vnf_id, devname)
         process.router.stop()
-        process.status = STOPPED
+        if process.status != FAILED:
+            process.status = STOPPED
         if self.isolation == ISOLATION_CGROUP:
             self.budget.release(vnf_id)
+
+    def crash_vnf(self, vnf_id: str) -> VNFProcess:
+        """Kill a VNF process in place: its Click router dies, its
+        device splices drop, but the zombie stays registered (holding
+        its budget) until reaped with :meth:`stop_vnf` — exactly the
+        state a crashed process leaves on a real container.  Emits a
+        ``vnf.crashed`` event for the recovery machinery."""
+        process = self.get_vnf(vnf_id)
+        if process.status == FAILED:
+            return process
+        for devname in list(process.devices):
+            self._unsplice(vnf_id, devname)
+        process.router.stop()
+        process.status = FAILED
+        telemetry.current().events.error(
+            "netem.container", "vnf.crashed",
+            "%s/%s" % (self.name, vnf_id),
+            container=self.name, vnf_id=vnf_id)
+        return process
+
+    def set_up(self, up: bool) -> None:
+        """Container outage primitive.  Going down crashes every
+        running VNF (they do not come back on their own when the
+        container returns — that is the recovery layer's job) and
+        emits ``container.down`` / ``container.up`` events."""
+        if up == self.up:
+            return
+        events = telemetry.current().events
+        if not up:
+            self.up = False
+            for vnf_id, process in list(self.vnfs.items()):
+                if process.status == UP:
+                    self.crash_vnf(vnf_id)
+            events.error("netem.container", "container.down", self.name,
+                         container=self.name)
+        else:
+            self.up = True
+            events.info("netem.container", "container.up", self.name,
+                        container=self.name)
 
     def get_vnf(self, vnf_id: str) -> VNFProcess:
         process = self.vnfs.get(vnf_id)

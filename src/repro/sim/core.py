@@ -209,7 +209,10 @@ class Simulator:
                     heapq.heappop(self._heap)
                     continue
                 if until is not None and event.time > until:
-                    self.now = until
+                    # nested step() pumping (e.g. a recovery action
+                    # blocking on an RPC reply) may already have moved
+                    # the clock past the horizon; never rewind it
+                    self.now = max(self.now, until)
                     break
                 heapq.heappop(self._heap)
                 self.now = event.time
@@ -224,8 +227,24 @@ class Simulator:
         return executed
 
     def step(self) -> bool:
-        """Execute exactly one pending event; return False when idle."""
-        return self.run(max_events=1) == 1
+        """Execute exactly one pending event; return False when idle.
+
+        Unlike :meth:`run`, ``step`` is safe to call from *inside* a
+        running simulation: blocking-style code (``PendingReply.
+        result``, recovery actions reacting to fault events) pumps the
+        shared heap one event at a time until its condition holds.
+        Events pop in time order, so nested pumping never reorders or
+        rewinds the clock — it only advances it early.
+        """
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self.now = event.time
+        event.callback(*event.args)
+        self._processed += 1
+        return True
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None when the heap is empty."""
