@@ -1,0 +1,155 @@
+"""Profiled demo-chain workload -> BENCH_profile.json.
+
+The perf-regression harness's workload driver: builds the standard
+benchmark substrate, deploys a one-VNF chain, pushes a fixed UDP burst
+through it with the profiler enabled, and emits a
+:func:`repro.telemetry.regression.profile_snapshot` — per-region
+timings normalized by a machine-speed calibration unit, plus
+throughput numbers.
+
+Usage::
+
+    python benchmarks/run_profile.py --out BENCH_profile.json
+    python benchmarks/run_profile.py --out current.json \
+        --check BENCH_profile.json        # exit 1 on regression
+
+``--check`` compares the fresh snapshot against a committed baseline
+with :func:`compare_profiles` (guarded regions +15% score, throughput
+-15%) — the CI perf gate.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
+                                "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+from benchmarks.helpers import chain_sg, demo_topology  # noqa: E402
+from repro.core import ESCAPE  # noqa: E402
+from repro.telemetry.regression import (calibrate, compare_profiles,
+                                        load_profile, profile_snapshot,
+                                        render_comparison,
+                                        write_profile)  # noqa: E402
+
+PACKETS = 500
+RATE_PPS = 1000
+ROUNDS = 3
+
+
+def _burst(escape):
+    """One fixed UDP burst through the chain; returns (wall seconds,
+    packets delivered)."""
+    h1, h2 = escape.net.get("h1"), escape.net.get("h2")
+    before = h2.udp_rx_count
+    h1.start_udp_flow(h2.ip, 5001, rate_pps=RATE_PPS,
+                      duration=PACKETS / RATE_PPS, payload_size=200)
+    started = time.perf_counter()
+    escape.run(PACKETS / RATE_PPS + 0.5)
+    elapsed = time.perf_counter() - started
+    delivered = h2.udp_rx_count - before
+    if delivered != PACKETS:
+        raise RuntimeError("workload lost packets: %d/%d delivered"
+                           % (delivered, PACKETS))
+    return elapsed, delivered
+
+
+def run_workload(rounds=ROUNDS):
+    """The standard profiled workload; returns (profiler, throughput).
+
+    OpenFlow wire serialization is on and the profiler is enabled
+    across deploy/terminate cycles, so the snapshot covers the
+    control-path regions (mapping, NETCONF encode/decode, steering,
+    OF wire) as well as the per-packet dataplane ones.  Each round is
+    profiled in isolation and every region keeps its *best* (lowest
+    per-call) round — the min-of-N de-noising the timing guards in
+    ``test_bench_observability.py`` also use, without which scheduler
+    jitter on a busy machine dwarfs real 15% regressions.
+    """
+    escape = ESCAPE.from_topology(
+        demo_topology(containers=2, container_ports=4), of_wire=True)
+    escape.start()
+    _burst(escape)  # warm-up, unprofiled (plain L2 forwarding)
+    profiler = escape.profiler
+    best_stats = {}
+    best_wall = None
+    packets = 0
+    sequence = 0
+    for _ in range(rounds):
+        profiler.reset()
+        profiler.enable()
+        # control-path exercise: repeated deploy/terminate cycles
+        for _ in range(2):
+            name = "ctl-%d" % sequence
+            sequence += 1
+            escape.deploy_service(chain_sg(1, name=name))
+            escape.run(0.05)
+            escape.terminate_service(name)
+        name = "chain-%d" % sequence
+        sequence += 1
+        escape.deploy_service(chain_sg(1, name=name))
+        elapsed, delivered = _burst(escape)
+        profiler.disable()
+        escape.terminate_service(name)
+        packets += delivered
+        if best_wall is None or elapsed < best_wall:
+            best_wall = elapsed
+        for region, stat in profiler.stats.items():
+            kept = best_stats.get(region)
+            if kept is None or stat.per_call < kept.per_call:
+                best_stats[region] = stat
+    profiler.stats = dict(best_stats)
+    escape.stop()
+    throughput = {
+        "udp_pps_wall": PACKETS / best_wall,
+        "sim_ratio": (PACKETS / RATE_PPS + 0.5) / best_wall,
+    }
+    return profiler, throughput, packets
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="profiled demo-chain run for the perf gate")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the fresh profile snapshot here")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against this committed baseline; "
+                             "exit 1 on regression")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="fractional regression gate (default 0.15)")
+    parser.add_argument("--rounds", type=int, default=ROUNDS,
+                        help="workload repetitions (default %d)" % ROUNDS)
+    args = parser.parse_args(argv)
+
+    # best-of-several calibration: the unit divides every score, so
+    # its own jitter would masquerade as uniform regressions
+    calibration = min(calibrate() for _ in range(3))
+    profiler, throughput, packets = run_workload(rounds=args.rounds)
+    snapshot = profile_snapshot(
+        profiler, throughput=throughput, calibration=calibration,
+        meta={"workload": "demo-chain udp burst",
+              "packets_per_round": PACKETS, "rounds": args.rounds,
+              "python": "%d.%d" % sys.version_info[:2]})
+
+    print("profiled %d packets over %d round(s), calibration %.6fs"
+          % (packets, args.rounds, calibration))
+    print(profiler.render_top(limit=0))
+
+    if args.out:
+        write_profile(args.out, snapshot)
+        print("wrote %s" % args.out)
+
+    if args.check:
+        baseline = load_profile(args.check)
+        findings = compare_profiles(baseline, snapshot,
+                                    threshold=args.threshold)
+        print(render_comparison(findings, args.threshold))
+        if findings:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -118,6 +118,95 @@ def test_untapped_dataplane_no_regression(forwarding_escape):
         % (retimed, baseline))
 
 
+# -- profiler overhead --------------------------------------------------------
+
+def test_profiler_disabled_region_cost(benchmark):
+    """The disabled hot-path check: one attribute read, no object."""
+    from repro.telemetry import NULL_REGION, Profiler
+    profiler = Profiler()
+
+    def disabled_path():
+        if profiler.enabled:  # the pattern every call site uses
+            with profiler.profile("bench.region.hot"):
+                pass
+    benchmark(disabled_path)
+    assert profiler.profile("bench.region.hot") is NULL_REGION
+
+
+def test_profiler_enabled_region_cost(benchmark):
+    """Full enter/exit bookkeeping of one enabled region."""
+    from repro.telemetry import Profiler
+    profiler = Profiler().enable()
+
+    def enabled_path():
+        with profiler.profile("bench.region.hot"):
+            pass
+    benchmark(enabled_path)
+    assert profiler.region("bench.region.hot").calls > 0
+    assert profiler.overhead > 0.0
+
+
+def test_profiler_enabled_captures_all_layers(forwarding_escape):
+    """With the profiler on, one workload burst attributes time to the
+    dataplane regions of every layer it crosses — and accounts for its
+    own bookkeeping cost."""
+    escape = forwarding_escape
+    profiler = escape.profiler
+    profiler.enable()
+    try:
+        _udp_workload(escape)
+    finally:
+        profiler.disable()
+    for region in ("sim.event.dispatch", "netem.link.transmit",
+                   "click.element.push"):
+        stat = profiler.region(region)
+        assert stat is not None and stat.calls > 0, region
+    dispatch = profiler.region("sim.event.dispatch")
+    assert dispatch.cum >= dispatch.self_time > 0.0
+    assert profiler.overhead > 0.0
+    assert profiler.collapsed()
+    profiler.reset()
+
+
+def test_unprofiled_dataplane_no_regression(forwarding_escape):
+    """The <5% guardrail the ISSUE promises: after the profiler has
+    been on and off again, the no-profile dataplane must cost what it
+    did before the profiler ever ran (min-of-N to de-noise)."""
+    escape = forwarding_escape
+    profiler = escape.profiler
+    assert not profiler.enabled
+
+    _udp_workload(escape)  # warm-up
+    baseline = _min_of(lambda: _udp_workload(escape))
+
+    profiler.enable()
+    _udp_workload(escape)
+    profiler.disable()
+    profiler.reset()
+
+    retimed = _min_of(lambda: _udp_workload(escape))
+    assert retimed <= baseline * 1.05, (
+        "unprofiled dataplane regressed: %.4fs vs %.4fs baseline"
+        % (retimed, baseline))
+
+
+def test_series_sampling_sweep(benchmark):
+    """One registry.sample() sweep over a realistically sized registry
+    (the recurring cost the series sampler pays 4x per sim second)."""
+    from repro.telemetry import MetricsRegistry
+    ticks = {"now": 0.0}
+    registry = MetricsRegistry(clock=lambda: ticks["now"])
+    for index in range(100):
+        registry.counter("bench.c%d.value" % index).inc(index)
+
+    def sweep():
+        ticks["now"] += 1.0
+        registry.sample()
+    benchmark(sweep)
+    assert registry.sample_count > 0
+    assert registry.sample_seconds > 0.0
+
+
 def test_sla_monitor_overhead(benchmark):
     """A probing SLA monitor on an idle chain: the cost of demo step 5
     running continuously."""

@@ -68,6 +68,9 @@ class ESCAPE:
         # simulator.  Made *current* before any layer is constructed so
         # every component below binds its instruments to this registry.
         self.telemetry = set_current(Telemetry(self.sim))
+        # the simulator predates the bundle, so its dispatch profiler
+        # hook is wired explicitly rather than via telemetry.current()
+        self.sim.profiler = self.telemetry.profiler
         self.catalog = catalog or default_catalog()
 
         # orchestration layer: controller platform
@@ -171,6 +174,10 @@ class ESCAPE:
         self._m_service_deploys = self.telemetry.metrics.counter(
             "service.layer.deploys", "service requests submitted")
         self.telemetry.metrics.add_collector(self._collect_metrics)
+        # time-series sampler: a recurring sim event sweeping every
+        # metric into its history ring (powers `series` / rate queries)
+        self.series_interval = self.SERIES_INTERVAL
+        self._series_event = None
         self.started = False
 
     def _collect_metrics(self, registry) -> None:
@@ -248,7 +255,28 @@ class ESCAPE:
             client.wait_connected()
         self._install_container_port_guards()
         self.net.run(0.01)  # let the guard flow-mods land
+        self._start_series_sampler()
         self.started = True
+
+    SERIES_INTERVAL = 0.25  # simulated seconds between series samples
+
+    def _start_series_sampler(self) -> None:
+        if self._series_event is not None:
+            return
+
+        def sample() -> None:
+            self.telemetry.metrics.sample()
+            self._series_event = self.sim.schedule(self.series_interval,
+                                                   sample)
+
+        self.telemetry.metrics.sample()  # t=now baseline point
+        self._series_event = self.sim.schedule(self.series_interval,
+                                               sample)
+
+    def _stop_series_sampler(self) -> None:
+        if self._series_event is not None:
+            self._series_event.cancel()
+            self._series_event = None
 
     GUARD_PRIORITY = 0x3000  # above l2_learning, below steering
 
@@ -279,6 +307,7 @@ class ESCAPE:
                     priority=self.GUARD_PRIORITY))
 
     def stop(self) -> None:
+        self._stop_series_sampler()
         for monitor in self.sla_monitors.values():
             if monitor.running:
                 monitor.stop()
@@ -461,12 +490,17 @@ class ESCAPE:
                 return trace
         return None
 
+    @property
+    def profiler(self):
+        """The scoped-region wall-clock profiler (off by default)."""
+        return self.telemetry.profiler
+
     def cli(self) -> CLI:
         """The interactive console: Mininet-style network commands plus
         ESCAPE service commands (services / deploy / undeploy / migrate
         / topology / metrics / trace), the observability commands
-        (health / sla / events / record) and fault-injection commands
-        (chaos)."""
+        (health / sla / events / record / profile / flame / top /
+        series) and fault-injection commands (chaos)."""
         console = CLI(self.net)
         console.commands.update({
             "services": self._cli_services,
@@ -483,6 +517,10 @@ class ESCAPE:
             "events": self._cli_events,
             "record": self._cli_record,
             "chaos": self._cli_chaos,
+            "profile": self._cli_profile,
+            "flame": self._cli_flame,
+            "top": self._cli_top,
+            "series": self._cli_series,
         })
         return console
 
@@ -719,6 +757,94 @@ class ESCAPE:
                                     action["target"], action["error"]))
             return "\n".join(lines)
         return "usage: chaos [status] | run <scenario.json> | heal | recovery"
+
+    def _cli_profile(self, args) -> str:
+        profiler = self.telemetry.profiler
+        if not args or args[0] in ("report", "status"):
+            state = "on" if profiler.enabled else "off"
+            if not profiler.stats:
+                return ("profiler is %s, no regions recorded "
+                        "(profile on, then run traffic)" % state)
+            return profiler.render_top(limit=0)
+        command = args[0]
+        if command == "on":
+            profiler.enable()
+            return "profiler enabled"
+        if command == "off":
+            profiler.disable()
+            return "profiler disabled"
+        if command == "reset":
+            profiler.reset()
+            return "profiler statistics cleared"
+        return "usage: profile [on|off|reset|report]"
+
+    def _cli_flame(self, args) -> str:
+        profiler = self.telemetry.profiler
+        text = profiler.render_flame()
+        if not text:
+            return ("no profile data recorded "
+                    "(profile on, then run traffic)")
+        if args:
+            from repro.telemetry import writable_path
+            path = writable_path(args[0])
+            with open(path, "w") as handle:
+                handle.write(text + "\n")
+            return ("wrote %d collapsed stack(s) to %s"
+                    % (len(text.splitlines()), path))
+        return text
+
+    def _cli_top(self, args) -> str:
+        profiler = self.telemetry.profiler
+        limit = 10
+        if args:
+            try:
+                limit = int(args[0])
+            except ValueError:
+                return "usage: top [n]"
+        if not profiler.stats:
+            return ("no profile data recorded "
+                    "(profile on, then run traffic)")
+        return profiler.render_top(limit=limit)
+
+    def _cli_series(self, args) -> str:
+        registry = self.telemetry.metrics
+        if not args:
+            names = registry.series_names()
+            if not names:
+                return ("no series recorded yet "
+                        "(the sampler runs while the simulation "
+                        "advances)")
+            return "\n".join(names)
+        name = args[0]
+        window = None
+        if len(args) > 1:
+            try:
+                window = float(args[1])
+            except ValueError:
+                return "usage: series [<metric> [window-seconds]]"
+        from repro.telemetry import MetricError
+        try:
+            series = registry.series(name)
+        except MetricError as exc:
+            return "*** %s" % exc
+        since = (self.sim.now - window) if window is not None else None
+        stats = series.stats(since=since)
+        if not stats["points"]:
+            return "%s: no points in window" % name
+        lines = ["%s: %d point(s)%s"
+                 % (name, stats["points"],
+                    " in last %.3fs" % window if window else "")]
+        lines.append("  latest=%.6g  min=%.6g  max=%.6g  mean=%.6g"
+                     % (stats["latest"], stats["min"], stats["max"],
+                        stats["mean"]))
+        if stats.get("rate") is not None:
+            lines.append("  rate=%.6g/s  delta=%.6g  p50=%.6g  p90=%.6g"
+                         % (stats["rate"], stats["delta"], stats["p50"],
+                            stats["p90"]))
+        if stats["evicted"]:
+            lines.append("  (%d older point(s) evicted from the ring)"
+                         % stats["evicted"])
+        return "\n".join(lines)
 
     def _cli_catalog(self, args) -> str:
         lines = []

@@ -258,7 +258,8 @@ class Orchestrator:
         with tracer.span("orchestrator.deploy", service=sg.name,
                          mapper=mapper.name):
             self._m_map_calls.inc()
-            with tracer.span("orchestrator.map", mapper=mapper.name):
+            with self.telemetry.profiler.profile("core.mapping.solve"), \
+                    tracer.span("orchestrator.map", mapper=mapper.name):
                 try:
                     mapping = mapper.map(sg, self.view)
                 except MappingError as exc:

@@ -50,6 +50,7 @@ class VNFAgent:
         self._m_rpc_errors = metrics.counter(
             "netconf.agent.rpc_errors",
             "agent RPCs rejected (validation or operation failure)")
+        self._profiler = current_telemetry().profiler
         # operational state is served through <get>: regenerate on demand
         self._install_state_hook()
 
@@ -67,6 +68,14 @@ class VNFAgent:
 
     def _invoke(self, name: str,
                 operation: ET.Element) -> Optional[List[ET.Element]]:
+        profiler = self._profiler
+        if profiler.enabled:
+            with profiler.profile("netconf.rpc.dispatch"):
+                return self._invoke_timed(name, operation)
+        return self._invoke_timed(name, operation)
+
+    def _invoke_timed(self, name: str,
+                      operation: ET.Element) -> Optional[List[ET.Element]]:
         self._m_rpcs.inc()
         try:
             self.module.validate_rpc_input(name, operation)

@@ -141,6 +141,7 @@ class NetconfClient:
         self._m_rpc_latency = metrics.histogram(
             "netconf.client.rpc_latency",
             "simulated request-to-reply seconds")
+        self._profiler = current_telemetry().profiler
         transport.set_receiver(self._receive)
         self.transport.send(self._tx_framer.frame(
             nc.to_xml(nc.build_hello(self.capabilities))))
@@ -158,7 +159,12 @@ class NetconfClient:
             self._handle_message(payload)
 
     def _handle_message(self, payload: bytes) -> None:
-        kind, root = nc.parse_message(payload)
+        profiler = self._profiler
+        if profiler.enabled:
+            with profiler.profile("netconf.rpc.decode"):
+                kind, root = nc.parse_message(payload)
+        else:
+            kind, root = nc.parse_message(payload)
         if kind == "hello":
             self.server_capabilities = nc.hello_capabilities(root)
             self.session_id = nc.hello_session_id(root)
@@ -223,8 +229,15 @@ class NetconfClient:
                                                 message_id)
         self.rpcs_sent += 1
         self._m_rpcs.inc()
-        self.transport.send(self._tx_framer.frame(
-            nc.to_xml(nc.build_rpc(message_id, operation))))
+        profiler = self._profiler
+        if profiler.enabled:
+            with profiler.profile("netconf.rpc.encode"):
+                frame = self._tx_framer.frame(
+                    nc.to_xml(nc.build_rpc(message_id, operation)))
+        else:
+            frame = self._tx_framer.frame(
+                nc.to_xml(nc.build_rpc(message_id, operation)))
+        self.transport.send(frame)
         return pending
 
     def call(self, operation: ET.Element,

@@ -138,6 +138,14 @@ class Link:
 
     def transmit(self, from_intf: Interface, data: bytes) -> None:
         """Queue a frame for delivery to the other end."""
+        profiler = telemetry.current().profiler
+        if profiler.enabled:
+            with profiler.profile("netem.link.transmit"):
+                self._transmit(from_intf, data)
+        else:
+            self._transmit(from_intf, data)
+
+    def _transmit(self, from_intf: Interface, data: bytes) -> None:
         if self.taps:
             self._notify_taps("tx", from_intf, data)
         if not self.up:

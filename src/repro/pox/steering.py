@@ -154,8 +154,9 @@ class TrafficSteering:
             vlan = None
             flow_mods = self._exact_flow_mods(hops, match)
         tracer = self.telemetry.tracer
-        with tracer.span("steering.install_path", path=path_id,
-                         mode=self.mode, hops=len(hops)):
+        with self.telemetry.profiler.profile("pox.steering.install"), \
+                tracer.span("steering.install_path", path=path_id,
+                            mode=self.mode, hops=len(hops)):
             for dpid, flow_mod in flow_mods:
                 with tracer.span("openflow.flow_mod", dpid=dpid):
                     self.nexus.send(dpid, flow_mod)

@@ -156,6 +156,11 @@ class Simulator:
         self.now = 0.0
         self._running = False
         self._processed = 0
+        # optional repro.telemetry Profiler (duck-typed to avoid a
+        # sim->telemetry dependency); when set and enabled, every event
+        # callback runs inside a "sim.event.dispatch" region — the root
+        # of the framework's flamegraph
+        self.profiler = None
 
     # -- scheduling ------------------------------------------------------
 
@@ -216,7 +221,12 @@ class Simulator:
                     break
                 heapq.heappop(self._heap)
                 self.now = event.time
-                event.callback(*event.args)
+                profiler = self.profiler
+                if profiler is not None and profiler.enabled:
+                    with profiler.profile("sim.event.dispatch"):
+                        event.callback(*event.args)
+                else:
+                    event.callback(*event.args)
                 executed += 1
             else:
                 if until is not None and until > self.now:
@@ -242,7 +252,12 @@ class Simulator:
             return False
         event = heapq.heappop(self._heap)
         self.now = event.time
-        event.callback(*event.args)
+        profiler = self.profiler
+        if profiler is not None and profiler.enabled:
+            with profiler.profile("sim.event.dispatch"):
+                event.callback(*event.args)
+        else:
+            event.callback(*event.args)
         self._processed += 1
         return True
 

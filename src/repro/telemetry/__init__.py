@@ -19,33 +19,41 @@ from typing import Callable, Optional
 from repro.telemetry.events import (DEBUG, ERROR, INFO, SEVERITIES, WARN,
                                     Event, EventError, EventLog)
 from repro.telemetry.export import (snapshot_dict, to_json, to_prometheus,
-                                    write_snapshot)
+                                    writable_path, write_snapshot)
 from repro.telemetry.metrics import (Counter, Gauge, Histogram, Metric,
-                                     MetricError, MetricsRegistry)
+                                     MetricError, MetricsRegistry, Series)
+from repro.telemetry.profiler import NULL_REGION, Profiler, RegionStat, profile
 from repro.telemetry.trace import NULL_SPAN, Span, Tracer
 
 __all__ = [
     "Counter", "DEBUG", "ERROR", "Event", "EventError", "EventLog",
     "Gauge", "Histogram", "INFO", "Metric", "MetricError",
-    "MetricsRegistry", "NULL_SPAN", "SEVERITIES", "Span", "Telemetry",
-    "Tracer", "WARN", "current", "set_current", "snapshot_dict",
-    "to_json", "to_prometheus", "write_snapshot",
+    "MetricsRegistry", "NULL_REGION", "NULL_SPAN", "Profiler",
+    "RegionStat", "SEVERITIES", "Series", "Span", "Telemetry",
+    "Tracer", "WARN", "current", "profile", "set_current",
+    "snapshot_dict", "to_json", "to_prometheus", "writable_path",
+    "write_snapshot",
 ]
 
 
 class Telemetry:
-    """A metrics registry, a tracer and an event log sharing one clock."""
+    """A metrics registry, a tracer, an event log and a profiler —
+    the first three sharing one (simulated) clock, the profiler on
+    host wall-clock (it measures the framework, not the simulation)."""
 
     def __init__(self, sim=None, max_traces: int = 16,
-                 event_capacity: int = 4096):
+                 event_capacity: int = 4096, series_capacity: int = 512):
         self.sim = sim
         clock: Optional[Callable[[], float]] = (
             (lambda: sim.now) if sim is not None else None)
-        self.metrics = MetricsRegistry(clock=clock)
+        self.metrics = MetricsRegistry(clock=clock,
+                                       series_capacity=series_capacity)
         self.tracer = Tracer(clock=clock, max_traces=max_traces)
         self.events = EventLog(clock=clock, capacity=event_capacity,
                                tracer=self.tracer)
+        self.profiler = Profiler()
         self.metrics.add_collector(self._collect_event_counts)
+        self.metrics.add_collector(self._collect_self_overhead)
 
     def _collect_event_counts(self, registry: MetricsRegistry) -> None:
         for severity, count in self.events.counts().items():
@@ -53,6 +61,31 @@ class Telemetry:
                            "events emitted by severity",
                            labels={"severity": severity.lower()}
                            ).set(count)
+
+    def _collect_self_overhead(self, registry: MetricsRegistry) -> None:
+        """Telemetry self-overhead as first-class metrics: the cost of
+        observing is part of what is observed."""
+        registry.gauge("telemetry.profiler.enabled",
+                       "1 while the profiler records regions").set(
+            1.0 if self.profiler.enabled else 0.0)
+        registry.gauge("telemetry.profiler.entries",
+                       "region entries recorded by the profiler").set(
+            self.profiler.entries)
+        registry.gauge("telemetry.profiler.regions",
+                       "distinct profile regions recorded").set(
+            len(self.profiler.stats))
+        registry.gauge("telemetry.profiler.overhead_seconds",
+                       "host seconds spent on profiler bookkeeping").set(
+            self.profiler.overhead)
+        registry.gauge("telemetry.metrics.collect_seconds",
+                       "host seconds spent running snapshot collectors"
+                       ).set(registry.collect_seconds)
+        registry.gauge("telemetry.metrics.sample_seconds",
+                       "host seconds spent recording series samples").set(
+            registry.sample_seconds)
+        registry.gauge("telemetry.metrics.samples",
+                       "series sampling sweeps taken").set(
+            registry.sample_count)
 
     def snapshot(self):
         return snapshot_dict(self.metrics, self.tracer, self.events)

@@ -21,6 +21,7 @@ short dotted verbs (``chain.deployed``, ``sla.violated``,
 
 import itertools
 import json
+import os
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional
 
@@ -218,9 +219,14 @@ class EventLog:
         return "\n".join(event.to_json()
                          for event in self.query(min_severity))
 
-    def write_jsonl(self, path: str, min_severity: str = DEBUG) -> int:
-        """Write the retained events to ``path``; returns the count."""
+    def write_jsonl(self, path, min_severity: str = DEBUG) -> int:
+        """Write the retained events to ``path`` (str or Path; missing
+        parent directories are created); returns the count."""
         events = self.query(min_severity)
+        path = os.fspath(path)
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(path, "w") as handle:
             for event in events:
                 handle.write(event.to_json() + "\n")

@@ -6,6 +6,7 @@ byte-identical output — snapshots can be diffed across runs.
 """
 
 import json
+import os
 import re
 from typing import Any, Dict, Optional
 
@@ -43,6 +44,13 @@ def prometheus_name(name: str) -> str:
     return _PROM_BAD.sub("_", name)
 
 
+def _escape_label_value(value: str) -> str:
+    """Exposition-format escaping: backslash, double-quote and newline
+    must be escaped inside label values (everything else is literal)."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _label_text(labels: Dict[str, str],
                 extra: Optional[Dict[str, str]] = None) -> str:
     """``{k="v",...}`` rendering, empty string for no labels."""
@@ -51,14 +59,21 @@ def _label_text(labels: Dict[str, str],
         merged.update(extra)
     if not merged:
         return ""
-    return "{%s}" % ",".join('%s="%s"' % (key, value) for key, value
-                             in sorted(merged.items()))
+    return "{%s}" % ",".join(
+        '%s="%s"' % (key, _escape_label_value(value))
+        for key, value in sorted(merged.items()))
+
+
+def _le_text(bound: float) -> str:
+    if bound == float("inf"):
+        return "+Inf"
+    return "%g" % bound
 
 
 def to_prometheus(registry: MetricsRegistry) -> str:
     """Prometheus exposition text: counters and gauges as-is (with
-    their labels), histograms as summaries (quantile series plus
-    _count/_sum)."""
+    their labels), histograms with cumulative ``_bucket`` series (the
+    mandatory ``+Inf`` bucket always present) plus _count/_sum."""
     registry.collect()
     lines = []
     typed = set()
@@ -68,17 +83,12 @@ def to_prometheus(registry: MetricsRegistry) -> str:
             typed.add(name)
             if metric.help:
                 lines.append("# HELP %s %s" % (name, metric.help))
-            lines.append("# TYPE %s %s"
-                         % (name, "summary" if isinstance(metric, Histogram)
-                            else metric.kind))
+            lines.append("# TYPE %s %s" % (name, metric.kind))
         if isinstance(metric, Histogram):
-            for quantile in (0.5, 0.9, 0.99):
-                value = metric.percentile(quantile * 100)
-                if value is not None:
-                    lines.append("%s%s %s" % (
-                        name, _label_text(metric.labels,
-                                          {"quantile": "%g" % quantile}),
-                        _fmt(value)))
+            for bound, count in metric.cumulative_buckets():
+                lines.append("%s_bucket%s %d" % (
+                    name, _label_text(metric.labels,
+                                      {"le": _le_text(bound)}), count))
             labels = _label_text(metric.labels)
             lines.append("%s_count%s %d" % (name, labels, metric.count))
             lines.append("%s_sum%s %s" % (name, labels, _fmt(metric.sum)))
@@ -94,17 +104,29 @@ def _fmt(value: float) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
-def write_snapshot(path: str, registry: MetricsRegistry,
+def writable_path(path) -> str:
+    """Normalize ``path`` (str or :class:`pathlib.Path`) and create
+    missing parent directories, so exports never fail on a fresh
+    output tree."""
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return path
+
+
+def write_snapshot(path, registry: MetricsRegistry,
                    tracer: Optional[Tracer] = None,
                    fmt: str = "json",
                    events: Optional[EventLog] = None) -> str:
-    """Write a snapshot to ``path``; returns the serialized text."""
+    """Write a snapshot to ``path`` (str or Path; missing parent
+    directories are created); returns the serialized text."""
     if fmt == "json":
         text = to_json(registry, tracer, events)
     elif fmt in ("prom", "prometheus"):
         text = to_prometheus(registry)
     else:
         raise ValueError("unknown export format %r (json or prom)" % fmt)
-    with open(path, "w") as handle:
+    with open(writable_path(path), "w") as handle:
         handle.write(text)
     return text

@@ -21,8 +21,10 @@ Counter/Histogram objects directly.
 """
 
 import re
+import time
+from bisect import bisect_left
 from collections import deque
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 # layer.component.name — lowercase dotted segments; the convention is
 # three segments but deeper hierarchies are allowed.
@@ -161,7 +163,8 @@ class Histogram(Metric):
     def __init__(self, name: str, help: str = "",
                  clock: Optional[Callable[[], float]] = None,
                  labels: Optional[Dict[str, str]] = None,
-                 size: int = 1024):
+                 size: int = 1024,
+                 buckets: Optional[List[float]] = None):
         super().__init__(name, help, clock, labels)
         if size <= 0:
             raise MetricError("histogram %s needs a positive window size"
@@ -170,12 +173,32 @@ class Histogram(Metric):
         self._window: deque = deque(maxlen=size)
         self.count = 0
         self.sum: float = 0.0
+        # optional explicit bucket bounds (Prometheus ``le`` upper
+        # bounds, +Inf implied): lifetime counts kept per bucket
+        self.bucket_bounds: Tuple[float, ...] = tuple(
+            sorted(buckets)) if buckets else ()
+        self._bucket_counts: List[int] = [0] * len(self.bucket_bounds)
 
     def observe(self, value: float) -> None:
         self._window.append(value)
         self.count += 1
         self.sum += value
+        if self.bucket_bounds:
+            index = bisect_left(self.bucket_bounds, value)
+            if index < len(self._bucket_counts):
+                self._bucket_counts[index] += 1
         self._touch()
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs, always
+        terminated by the mandatory ``(+Inf, lifetime count)``."""
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bucket_bounds, self._bucket_counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((float("inf"), self.count))
+        return pairs
 
     def percentile(self, p: float) -> Optional[float]:
         """Nearest-rank percentile over the window (p in [0, 100])."""
@@ -201,6 +224,9 @@ class Histogram(Metric):
             "sum": self.sum,
             "window": len(window),
         })
+        if self.bucket_bounds:
+            data["buckets"] = [[bound, count] for bound, count
+                               in self.cumulative_buckets()[:-1]]
         if window:
             data.update({
                 "min": min(window),
@@ -213,6 +239,113 @@ class Histogram(Metric):
         return data
 
 
+class Series:
+    """Bounded (time, value) history of one metric — the trajectory
+    behind a point-in-time snapshot.
+
+    Points are appended by :meth:`MetricsRegistry.sample`; the ring
+    bounds memory (oldest points evict first) and the query helpers
+    turn the raw points into the questions operators actually ask:
+    *how fast is this counter moving* (:meth:`rate`), *what has this
+    gauge looked like recently* (:meth:`percentile`, :meth:`stats`).
+    """
+
+    def __init__(self, key: str, capacity: int = 512):
+        if capacity <= 0:
+            raise MetricError("series %s needs a positive capacity" % key)
+        self.key = key
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def append(self, time_stamp: float, value: float) -> None:
+        self._ring.append((time_stamp, value))
+        self.recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def evicted(self) -> int:
+        """Points pushed out of the ring by newer ones."""
+        return self.recorded - len(self._ring)
+
+    @property
+    def points(self) -> List[Tuple[float, float]]:
+        return list(self._ring)
+
+    def window(self, since: Optional[float] = None
+               ) -> List[Tuple[float, float]]:
+        """Points with timestamp >= ``since`` (all when None)."""
+        if since is None:
+            return list(self._ring)
+        return [point for point in self._ring if point[0] >= since]
+
+    def latest(self) -> Optional[Tuple[float, float]]:
+        return self._ring[-1] if self._ring else None
+
+    def values(self, since: Optional[float] = None) -> List[float]:
+        return [value for _t, value in self.window(since)]
+
+    def delta(self, since: Optional[float] = None) -> Optional[float]:
+        """Value change across the window (None with <2 points)."""
+        points = self.window(since)
+        if len(points) < 2:
+            return None
+        return points[-1][1] - points[0][1]
+
+    def rate(self, since: Optional[float] = None) -> Optional[float]:
+        """Mean value change per time unit across the window — turns a
+        sampled counter into events/second.  None with <2 points or a
+        zero time span."""
+        points = self.window(since)
+        if len(points) < 2:
+            return None
+        span = points[-1][0] - points[0][0]
+        if span <= 0:
+            return None
+        return (points[-1][1] - points[0][1]) / span
+
+    def percentile(self, p: float,
+                   since: Optional[float] = None) -> Optional[float]:
+        """Nearest-rank percentile of the windowed values."""
+        values = self.values(since)
+        if not values:
+            return None
+        if p < 0 or p > 100:
+            raise MetricError("percentile must be in [0, 100], got %r" % p)
+        ordered = sorted(values)
+        if p == 0:
+            return ordered[0]
+        rank = max(1, int(-(-p * len(ordered) // 100)))  # ceil
+        return ordered[rank - 1]
+
+    def stats(self, since: Optional[float] = None) -> Dict[str, Any]:
+        """One-call summary the CLI ``series`` command renders."""
+        values = self.values(since)
+        data: Dict[str, Any] = {
+            "points": len(values),
+            "recorded": self.recorded,
+            "evicted": self.evicted,
+        }
+        if values:
+            data.update({
+                "latest": values[-1],
+                "min": min(values),
+                "max": max(values),
+                "mean": sum(values) / len(values),
+                "p50": self.percentile(50, since),
+                "p90": self.percentile(90, since),
+                "rate": self.rate(since),
+                "delta": self.delta(since),
+            })
+        return data
+
+    def __repr__(self) -> str:
+        return "Series(%s, %d/%d points)" % (self.key, len(self._ring),
+                                             self.capacity)
+
+
 class MetricsRegistry:
     """All instruments of one framework instance, by dotted name.
 
@@ -223,10 +356,19 @@ class MetricsRegistry:
     export plain-integer counters without paying per-event costs.
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None):
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 series_capacity: int = 512):
         self.clock = clock or _default_clock
         self._metrics: Dict[str, Metric] = {}
         self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+        self.series_capacity = series_capacity
+        self._series: Dict[str, Series] = {}
+        # self-overhead accounting: the metrics layer measures its own
+        # cost (host wall-clock) as first-class numbers
+        self.collect_seconds = 0.0
+        self.collect_count = 0
+        self.sample_seconds = 0.0
+        self.sample_count = 0
 
     # -- instrument creation ----------------------------------------------
 
@@ -259,9 +401,10 @@ class MetricsRegistry:
 
     def histogram(self, name: str, help: str = "",
                   labels: Optional[Dict[str, str]] = None,
-                  size: int = 1024) -> Histogram:
+                  size: int = 1024,
+                  buckets: Optional[List[float]] = None) -> Histogram:
         return self._get_or_create(Histogram, name, help, labels,
-                                   size=size)
+                                   size=size, buckets=buckets)
 
     # -- access -----------------------------------------------------------
 
@@ -290,14 +433,60 @@ class MetricsRegistry:
         self._collectors.append(fn)
 
     def collect(self) -> None:
+        started = time.perf_counter()
         for collector in self._collectors:
             collector(self)
+        self.collect_seconds += time.perf_counter() - started
+        self.collect_count += 1
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """{name: metric snapshot}, after running the collectors."""
         self.collect()
         return {name: metric.snapshot()
                 for name, metric in sorted(self._metrics.items())}
+
+    # -- time-series history ----------------------------------------------
+
+    def sample(self) -> int:
+        """Record one history point per metric (after running the
+        collectors): counters and gauges contribute their value,
+        histograms their lifetime observation count.  Returns the
+        number of series appended to."""
+        started = time.perf_counter()
+        self.collect()
+        now = self.clock()
+        appended = 0
+        for key, metric in self._metrics.items():
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = Series(
+                    key, self.series_capacity)
+            if isinstance(metric, Histogram):
+                value = float(metric.count)
+            else:
+                value = float(metric.value)
+            series.append(now, value)
+            appended += 1
+        self.sample_seconds += time.perf_counter() - started
+        self.sample_count += 1
+        return appended
+
+    def series(self, name: str,
+               labels: Optional[Dict[str, str]] = None) -> Series:
+        """The history ring of one metric.  The metric must exist;
+        a metric never sampled yet returns an empty series."""
+        key = labelled_key(name, labels)
+        if key not in self._metrics:
+            raise MetricError("no metric %r to read a series from" % key)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = Series(key, self.series_capacity)
+        return series
+
+    def series_names(self) -> List[str]:
+        """Keys that have at least one recorded history point."""
+        return sorted(key for key, series in self._series.items()
+                      if len(series))
 
     def __repr__(self) -> str:
         return "MetricsRegistry(%d metrics, %d collectors)" % (

@@ -1,0 +1,167 @@
+"""Perf-regression harness: profile snapshots and the comparator.
+
+``benchmarks/run_profile.py`` drives a fixed demo-chain workload with
+the profiler enabled and writes a ``BENCH_profile.json`` snapshot —
+per-region timings plus key throughput numbers.  The snapshot that
+ships in the repository is the committed baseline; CI re-runs the
+workload and :func:`compare_profiles` flags any *guarded* region whose
+normalized per-call self-time regressed beyond the threshold (15% by
+default), so a PR that slows a hot path down fails visibly instead of
+silently bending the trajectory.
+
+Raw wall-clock numbers are machine-dependent, so every snapshot embeds
+a *calibration unit* — the measured cost of a fixed pure-Python loop on
+the same machine — and regions are compared by their calibration-
+normalized score (``per_call_self / calibration``), which cancels
+out most of the host-speed difference between the baseline machine
+and the CI runner.
+"""
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+SCHEMA_VERSION = 1
+
+#: Regions the CI comparator guards by default: present in every
+#: run of the standard workload and hot enough that a slowdown there
+#: is a real finding, not noise.
+DEFAULT_GUARDED = (
+    "sim.event.dispatch",
+    "netem.link.transmit",
+    "click.element.push",
+    "openflow.wire.encode",
+    "openflow.wire.decode",
+    "netconf.rpc.encode",
+    "netconf.rpc.decode",
+    "core.mapping.solve",
+    "pox.steering.install",
+)
+
+CALIBRATION_LOOPS = 200_000
+
+
+def calibrate(loops: int = CALIBRATION_LOOPS) -> float:
+    """Seconds one fixed arithmetic loop takes on this machine — the
+    normalization unit embedded in every profile snapshot."""
+    best = None
+    for _ in range(3):
+        started = time.perf_counter()
+        total = 0
+        for index in range(loops):
+            total += index * 3 % 7
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def profile_snapshot(profiler, throughput: Optional[Dict[str, float]] = None,
+                     calibration: Optional[float] = None,
+                     meta: Optional[Dict[str, Any]] = None
+                     ) -> Dict[str, Any]:
+    """The ``BENCH_profile.json`` structure for one profiled run."""
+    if calibration is None:
+        calibration = calibrate()
+    regions: Dict[str, Any] = {}
+    for name, stat in sorted(profiler.stats.items()):
+        entry = stat.to_dict()
+        entry["score"] = (stat.per_call / calibration
+                          if calibration > 0 else 0.0)
+        regions[name] = entry
+    return {
+        "schema": SCHEMA_VERSION,
+        "calibration_s": calibration,
+        "regions": regions,
+        "throughput": dict(throughput or {}),
+        "overhead_s": profiler.overhead,
+        "entries": profiler.entries,
+        "meta": dict(meta or {}),
+    }
+
+
+def write_profile(path, snapshot: Dict[str, Any]) -> str:
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    text = json.dumps(snapshot, indent=2, sort_keys=True)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return text
+
+
+def load_profile(path) -> Dict[str, Any]:
+    with open(os.fspath(path)) as handle:
+        return json.load(handle)
+
+
+def compare_profiles(baseline: Dict[str, Any], current: Dict[str, Any],
+                     threshold: float = 0.15,
+                     guarded: Optional[List[str]] = None
+                     ) -> List[Dict[str, Any]]:
+    """Regressions of ``current`` against ``baseline``.
+
+    A guarded region regresses when its calibration-normalized score
+    grew by more than ``threshold`` (fractional); a throughput number
+    regresses when it *dropped* by more than ``threshold``.  Regions
+    absent from either snapshot are skipped (a renamed region is a
+    baseline update, not a regression).  Returns one record per
+    finding; an empty list means the gate passes.
+    """
+    if guarded is None:
+        guarded = list(DEFAULT_GUARDED)
+    findings: List[Dict[str, Any]] = []
+    base_regions = baseline.get("regions", {})
+    cur_regions = current.get("regions", {})
+    for name in guarded:
+        base = base_regions.get(name)
+        cur = cur_regions.get(name)
+        if base is None or cur is None:
+            continue
+        base_score = base.get("score", 0.0)
+        cur_score = cur.get("score", 0.0)
+        if base_score <= 0.0:
+            continue
+        change = cur_score / base_score - 1.0
+        if change > threshold:
+            findings.append({
+                "kind": "region", "name": name,
+                "baseline_score": base_score, "current_score": cur_score,
+                "change": change,
+            })
+    base_tp = baseline.get("throughput", {})
+    cur_tp = current.get("throughput", {})
+    for name in sorted(base_tp):
+        if name not in cur_tp or base_tp[name] <= 0.0:
+            continue
+        change = cur_tp[name] / base_tp[name] - 1.0
+        if change < -threshold:
+            findings.append({
+                "kind": "throughput", "name": name,
+                "baseline": base_tp[name], "current": cur_tp[name],
+                "change": change,
+            })
+    return findings
+
+
+def render_comparison(findings: List[Dict[str, Any]],
+                      threshold: float = 0.15) -> str:
+    if not findings:
+        return ("perf gate PASS: no guarded region or throughput "
+                "number regressed beyond %.0f%%" % (threshold * 100))
+    lines = ["perf gate FAIL: %d regression(s) beyond %.0f%%"
+             % (len(findings), threshold * 100)]
+    for finding in findings:
+        if finding["kind"] == "region":
+            lines.append(
+                "  region %-36s score %.3f -> %.3f (%+.1f%%)"
+                % (finding["name"], finding["baseline_score"],
+                   finding["current_score"], finding["change"] * 100))
+        else:
+            lines.append(
+                "  throughput %-32s %.1f -> %.1f (%+.1f%%)"
+                % (finding["name"], finding["baseline"],
+                   finding["current"], finding["change"] * 100))
+    return "\n".join(lines)

@@ -114,3 +114,72 @@ class TestServiceCommands:
         output = cli.run_command("status")
         parsed = json_module.loads(output)
         assert parsed["services"]["cli-chain"]["active"] is True
+
+
+class TestProfilingCommands:
+    def _profiled_traffic(self, escape, cli, sg_path):
+        cli.run_command("profile on")
+        cli.run_command("deploy %s" % sg_path)
+        h1, h2 = escape.net.get("h1"), escape.net.get("h2")
+        h1.start_udp_flow(h2.ip, 5001, rate_pps=200, duration=0.5,
+                          payload_size=100)
+        escape.run(1.0)
+
+    def test_profile_toggles_and_reports(self, console):
+        escape, cli, sg_path = console
+        assert "profiler is off" in cli.run_command("profile")
+        assert "enabled" in cli.run_command("profile on")
+        assert escape.profiler.enabled
+        self._profiled_traffic(escape, cli, sg_path)
+        report = cli.run_command("profile")
+        assert "sim.event.dispatch" in report
+        assert "core.mapping.solve" in report
+        assert "disabled" in cli.run_command("profile off")
+        assert not escape.profiler.enabled
+        cli.run_command("profile reset")
+        assert escape.profiler.stats == {}
+        assert "usage" in cli.run_command("profile bogus")
+
+    def test_top_limits_rows(self, console):
+        escape, cli, sg_path = console
+        assert "no profile data" in cli.run_command("top")
+        self._profiled_traffic(escape, cli, sg_path)
+        lines = cli.run_command("top 2").splitlines()
+        # header + 2 regions + overhead footer
+        assert len(lines) == 4
+        assert "usage" in cli.run_command("top many")
+
+    def test_flame_prints_and_writes_collapsed_stacks(self, console,
+                                                      tmp_path):
+        escape, cli, sg_path = console
+        assert "no profile data" in cli.run_command("flame")
+        self._profiled_traffic(escape, cli, sg_path)
+        text = cli.run_command("flame")
+        assert any(line.startswith("sim.event.dispatch;")
+                   for line in text.splitlines())
+        target = tmp_path / "flames" / "demo.folded"
+        output = cli.run_command("flame %s" % target)
+        assert "wrote" in output
+        content = target.read_text().splitlines()
+        assert content and all(
+            line.rsplit(" ", 1)[1].isdigit() for line in content)
+
+    def test_series_lists_and_queries(self, console):
+        escape, cli, sg_path = console
+        names = cli.run_command("series")
+        assert "netem.link.delivered" in names
+        self._profiled_traffic(escape, cli, sg_path)
+        output = cli.run_command("series netem.link.delivered")
+        assert "point(s)" in output
+        assert "latest=" in output and "rate=" in output
+        windowed = cli.run_command("series netem.link.delivered 0.5")
+        assert "in last 0.500s" in windowed
+        assert "no metric" in cli.run_command("series no.such.metric")
+        assert "usage" in cli.run_command(
+            "series netem.link.delivered soon")
+
+    def test_help_includes_profiling_commands(self, console):
+        _escape, cli, _sg = console
+        output = cli.run_command("help")
+        for command in ("profile", "flame", "top", "series"):
+            assert command in output

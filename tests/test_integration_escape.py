@@ -413,7 +413,8 @@ class TestTelemetry:
         assert data["traces"]
         prom = escape.export_metrics("prom")
         assert "# TYPE service_layer_deploys counter" in prom
-        assert "# TYPE netconf_client_rpc_latency summary" in prom
+        assert "# TYPE netconf_client_rpc_latency histogram" in prom
+        assert 'netconf_client_rpc_latency_bucket{le="+Inf"}' in prom
         path = tmp_path / "snap.json"
         escape.export_metrics("json", str(path))
         assert json_module.loads(path.read_text())["metrics"]

@@ -276,13 +276,64 @@ class TestExporters:
         assert "# TYPE netconf_client_rpcs counter" in text
         assert "netconf_client_rpcs 4" in text
         assert "# TYPE netem_link_drops gauge" in text
-        assert "# TYPE core_orchestrator_deploy_time summary" in text
-        assert 'core_orchestrator_deploy_time{quantile="0.5"} 0.2' in text
+        assert "# TYPE core_orchestrator_deploy_time histogram" in text
+        # the +Inf bucket is mandatory even without explicit bounds
+        assert 'core_orchestrator_deploy_time_bucket{le="+Inf"} 3' in text
         assert "core_orchestrator_deploy_time_count 3" in text
+        assert "core_orchestrator_deploy_time_sum" in text
         # dotted names are sanitized: no dots outside label values
         for line in text.splitlines():
             if not line.startswith("#"):
                 assert "." not in line.split("{")[0].split(" ")[0]
+
+    def test_prometheus_explicit_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("netconf.client.rpc_latency",
+                                  buckets=[0.01, 0.1, 1.0])
+        for value in (0.005, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = to_prometheus(registry)
+        assert 'netconf_client_rpc_latency_bucket{le="0.01"} 1' in text
+        assert 'netconf_client_rpc_latency_bucket{le="0.1"} 2' in text
+        assert 'netconf_client_rpc_latency_bucket{le="1"} 3' in text
+        assert 'netconf_client_rpc_latency_bucket{le="+Inf"} 4' in text
+        assert "netconf_client_rpc_latency_count 4" in text
+
+    def test_prometheus_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("layer.component.events",
+                         labels={"path": 'C:\\x "quoted"\nnext'}).inc()
+        text = to_prometheus(registry)
+        assert ('layer_component_events'
+                '{path="C:\\\\x \\"quoted\\"\\nnext"} 1') in text
+        # the raw (unescaped) value must not leak into the exposition
+        assert '"C:\\x' not in text
+
+    def test_json_parse_matches_snapshot_dict(self):
+        """Exporter round-trip: to_json → parse == snapshot_dict.
+
+        Uses a bare registry/tracer (no Telemetry bundle) so every
+        collector output is deterministic across repeated snapshots —
+        the bundle's self-overhead gauges accumulate wall-clock time
+        and would legitimately differ between the two exports.
+        """
+        registry = MetricsRegistry()
+        registry.counter("netconf.client.rpcs").inc(4)
+        registry.gauge("netem.link.drops").set(2)
+        hist = registry.histogram("core.orchestrator.deploy_time",
+                                  buckets=[0.15, 0.25])
+        for value in (0.1, 0.2, 0.3):
+            hist.observe(value)
+        tracer = Tracer()
+        with tracer.span("service.deploy"):
+            with tracer.span("orchestrator.deploy"):
+                pass
+        parsed = json.loads(to_json(registry, tracer))
+        direct = snapshot_dict(registry, tracer)
+        assert parsed == direct
+        buckets = parsed["metrics"]["core.orchestrator.deploy_time"][
+            "buckets"]
+        assert buckets == [[0.15, 1], [0.25, 2]]
 
     def test_write_snapshot_files(self, tmp_path):
         telemetry = self._populated()
@@ -295,6 +346,126 @@ class TestExporters:
         assert "netconf_client_rpcs" in prom_path.read_text()
         with pytest.raises(ValueError):
             write_snapshot(str(json_path), telemetry.metrics, fmt="xml")
+
+    def test_write_snapshot_accepts_path_and_creates_parents(self,
+                                                             tmp_path):
+        telemetry = self._populated()
+        target = tmp_path / "out" / "nested" / "snap.json"
+        write_snapshot(target, telemetry.metrics, fmt="json")
+        assert json.loads(target.read_text())["metrics"]
+
+    def test_write_jsonl_accepts_path_and_creates_parents(self,
+                                                          tmp_path):
+        telemetry = self._populated()
+        telemetry.events.info("layer.component", "event.name", "hello")
+        target = tmp_path / "logs" / "deep" / "events.jsonl"
+        count = telemetry.events.write_jsonl(target)
+        assert count >= 1
+        lines = target.read_text().splitlines()
+        assert json.loads(lines[-1])["message"] == "hello"
+
+
+class TestSeries:
+    def _sampled_registry(self):
+        ticks = {"now": 0.0}
+        registry = MetricsRegistry(clock=lambda: ticks["now"])
+        return registry, ticks
+
+    def test_sample_records_points_per_metric(self):
+        registry, ticks = self._sampled_registry()
+        counter = registry.counter("netem.link.delivered")
+        gauge = registry.gauge("netem.link.queue")
+        for step in range(1, 4):
+            ticks["now"] = float(step)
+            counter.inc(10)
+            gauge.set(step * 2)
+            registry.sample()
+        series = registry.series("netem.link.delivered")
+        assert series.points == [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]
+        assert registry.series("netem.link.queue").latest() == (3.0, 6.0)
+        assert registry.sample_count == 3
+        assert sorted(registry.series_names()) == [
+            "netem.link.delivered", "netem.link.queue"]
+
+    def test_rate_and_delta_queries(self):
+        registry, ticks = self._sampled_registry()
+        counter = registry.counter("netconf.client.rpcs")
+        for step in range(1, 6):
+            ticks["now"] = float(step)
+            counter.inc(5)
+            registry.sample()
+        series = registry.series("netconf.client.rpcs")
+        assert series.rate() == pytest.approx(5.0)  # 5 rpcs per second
+        assert series.delta() == pytest.approx(20.0)
+        # windowed: only the last two points
+        assert series.rate(since=4.0) == pytest.approx(5.0)
+        assert series.delta(since=4.0) == pytest.approx(5.0)
+        # degenerate windows answer None, not garbage
+        assert series.rate(since=5.0) is None
+        assert registry.series("netconf.client.rpcs").percentile(
+            50) == 15.0
+
+    def test_ring_evicts_at_capacity(self):
+        registry, ticks = self._sampled_registry()
+        registry.series_capacity = 4
+        gauge = registry.gauge("netem.link.queue")
+        for step in range(10):
+            ticks["now"] = float(step)
+            gauge.set(step)
+            registry.sample()
+        series = registry.series("netem.link.queue")
+        assert len(series) == 4
+        assert series.recorded == 10
+        assert series.evicted == 6
+        # oldest points are gone: only 6..9 remain
+        assert series.values() == [6.0, 7.0, 8.0, 9.0]
+        assert series.points[0] == (6.0, 6.0)
+
+    def test_histograms_sample_their_lifetime_count(self):
+        registry, ticks = self._sampled_registry()
+        hist = registry.histogram("core.orchestrator.deploy_time")
+        hist.observe(0.5)
+        hist.observe(0.7)
+        ticks["now"] = 1.0
+        registry.sample()
+        assert registry.series(
+            "core.orchestrator.deploy_time").latest() == (1.0, 2.0)
+
+    def test_series_requires_existing_metric(self):
+        registry, _ticks = self._sampled_registry()
+        with pytest.raises(MetricError):
+            registry.series("no.such.metric")
+        # an existing but never-sampled metric yields an empty series
+        registry.counter("netconf.client.rpcs")
+        series = registry.series("netconf.client.rpcs")
+        assert len(series) == 0
+        assert series.latest() is None
+        assert "netconf.client.rpcs" not in registry.series_names()
+
+    def test_labelled_series(self):
+        registry, ticks = self._sampled_registry()
+        registry.counter("telemetry.events.emitted",
+                         labels={"severity": "warn"}).inc(3)
+        ticks["now"] = 1.0
+        registry.sample()
+        series = registry.series("telemetry.events.emitted",
+                                 labels={"severity": "warn"})
+        assert series.latest() == (1.0, 3.0)
+
+    def test_stats_summary(self):
+        registry, ticks = self._sampled_registry()
+        gauge = registry.gauge("netem.link.queue")
+        for step in range(1, 5):
+            ticks["now"] = float(step)
+            gauge.set(step * 10)
+            registry.sample()
+        stats = registry.series("netem.link.queue").stats()
+        assert stats["points"] == 4
+        assert stats["latest"] == 40.0
+        assert stats["min"] == 10.0
+        assert stats["max"] == 40.0
+        assert stats["mean"] == pytest.approx(25.0)
+        assert stats["rate"] == pytest.approx(10.0)
 
 
 class TestTelemetryBundle:
