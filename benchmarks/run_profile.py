@@ -15,7 +15,9 @@ Usage::
 
 ``--check`` compares the fresh snapshot against a committed baseline
 with :func:`compare_profiles` (guarded regions +15% score, throughput
--15%) — the CI perf gate.
+-15%) — the CI perf gate.  ``udp_pps_wall`` is a *guarded* throughput
+floor: the gate fails both when it drops more than 15% below the
+baseline and when the current snapshot stops reporting it at all.
 """
 
 import argparse

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the ``escape`` CLI without installation."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -521,6 +521,7 @@ class ESCAPE:
             "flame": self._cli_flame,
             "top": self._cli_top,
             "series": self._cli_series,
+            "scenario": self._cli_scenario,
         })
         return console
 
@@ -845,6 +846,37 @@ class ESCAPE:
             lines.append("  (%d older point(s) evicted from the ring)"
                          % stats["evicted"])
         return "\n".join(lines)
+
+    def _cli_scenario(self, args) -> str:
+        """Read-only scenario-engine access from the console; full
+        campaigns run through ``escape scenario run`` (repro.cli),
+        which builds its own framework instance per seed."""
+        from repro.scenario import (CHAIN_TEMPLATES, TOPOLOGY_KINDS,
+                                    load_bundles, load_scenario,
+                                    render_report)
+        if not args or args[0] == "list":
+            return ("topology kinds:  %s\nchain templates: %s"
+                    % (", ".join(sorted(TOPOLOGY_KINDS)),
+                       ", ".join(sorted(CHAIN_TEMPLATES))))
+        command, rest = args[0], args[1:]
+        if command == "show":
+            if len(rest) != 1:
+                return "usage: scenario show <scenario file>"
+            try:
+                scenario = load_scenario(rest[0])
+            except Exception as exc:
+                return "*** %s" % exc
+            return ("%r\n%s" % (scenario, scenario.description)).rstrip()
+        if command == "report":
+            if not rest:
+                return "usage: scenario report <bundle|results-dir>..."
+            try:
+                return render_report(load_bundles(rest))
+            except Exception as exc:
+                return "*** %s" % exc
+        return ("usage: scenario [list] | show <file> | "
+                "report <bundle|results-dir>... "
+                "(campaigns: `escape scenario run` from the shell)")
 
     def _cli_catalog(self, args) -> str:
         lines = []

@@ -22,7 +22,10 @@ class Topo:
 
     def _add_node(self, name: str, role: str, opts: dict) -> str:
         if name in self.nodes:
-            raise ValueError("node %r already in topology" % name)
+            existing_role, _opts = self.nodes[name]
+            raise ValueError(
+                "node %r already in topology (as %s); node names must "
+                "be unique across roles" % (name, existing_role))
         self.nodes[name] = (role, opts)
         return name
 
@@ -43,9 +46,22 @@ class Topo:
     def add_link(self, node1: str, node2: str,
                  bandwidth: Optional[float] = None, delay: float = 0.0,
                  loss: float = 0.0, **opts) -> None:
+        """Attach an attributed link between two already-added nodes.
+
+        Both endpoints must exist (add nodes before links) and must be
+        distinct — a self-loop is always a topology bug.  Parallel
+        links between the same pair are allowed; multi-port VNF
+        containers rely on them.
+        """
         for name in (node1, node2):
             if name not in self.nodes:
-                raise ValueError("link references unknown node %r" % name)
+                raise ValueError(
+                    "link %s--%s references unknown node %r; add nodes "
+                    "before links (known: %d nodes)"
+                    % (node1, node2, name, len(self.nodes)))
+        if node1 == node2:
+            raise ValueError("self-loop link %s--%s not allowed"
+                             % (node1, node2))
         opts.update(bandwidth=bandwidth, delay=delay, loss=loss)
         self.links.append((node1, node2, opts))
 

@@ -39,6 +39,14 @@ DEFAULT_GUARDED = (
     "pox.steering.install",
 )
 
+#: Throughput numbers the gate *requires*: unlike the opportunistic
+#: baseline-driven comparison (any shared number is checked), a guarded
+#: throughput key missing from the current snapshot is itself a
+#: failure — a workload change cannot silently drop the floor.
+GUARDED_THROUGHPUT = (
+    "udp_pps_wall",
+)
+
 CALIBRATION_LOOPS = 200_000
 
 
@@ -107,8 +115,12 @@ def compare_profiles(baseline: Dict[str, Any], current: Dict[str, Any],
     grew by more than ``threshold`` (fractional); a throughput number
     regresses when it *dropped* by more than ``threshold``.  Regions
     absent from either snapshot are skipped (a renamed region is a
-    baseline update, not a regression).  Returns one record per
-    finding; an empty list means the gate passes.
+    baseline update, not a regression) — except the
+    :data:`GUARDED_THROUGHPUT` names, which the current snapshot must
+    carry whenever the baseline does: a run that stops measuring
+    ``udp_pps_wall`` would otherwise pass the gate with the floor
+    silently gone.  Returns one record per finding; an empty list
+    means the gate passes.
     """
     if guarded is None:
         guarded = list(DEFAULT_GUARDED)
@@ -134,7 +146,14 @@ def compare_profiles(baseline: Dict[str, Any], current: Dict[str, Any],
     base_tp = baseline.get("throughput", {})
     cur_tp = current.get("throughput", {})
     for name in sorted(base_tp):
-        if name not in cur_tp or base_tp[name] <= 0.0:
+        if name not in cur_tp:
+            if name in GUARDED_THROUGHPUT and base_tp[name] > 0.0:
+                findings.append({
+                    "kind": "throughput_missing", "name": name,
+                    "baseline": base_tp[name],
+                })
+            continue
+        if base_tp[name] <= 0.0:
             continue
         change = cur_tp[name] / base_tp[name] - 1.0
         if change < -threshold:
@@ -159,6 +178,10 @@ def render_comparison(findings: List[Dict[str, Any]],
                 "  region %-36s score %.3f -> %.3f (%+.1f%%)"
                 % (finding["name"], finding["baseline_score"],
                    finding["current_score"], finding["change"] * 100))
+        elif finding["kind"] == "throughput_missing":
+            lines.append(
+                "  throughput %-32s %.1f -> MISSING (guarded floor "
+                "not measured)" % (finding["name"], finding["baseline"]))
         else:
             lines.append(
                 "  throughput %-32s %.1f -> %.1f (%+.1f%%)"

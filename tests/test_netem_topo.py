@@ -1,0 +1,111 @@
+"""Unit tests for repro.netem.topo — the declarative topology
+descriptions (Mininet ``Topo`` analog).
+
+The stock generators (SingleSwitch/Linear/Tree) predate the scenario
+topology zoo and were only exercised indirectly through Network.build;
+these tests pin their node/role counts, naming scheme, and link-option
+propagation directly, plus the add_node/add_link validation errors.
+"""
+
+import pytest
+
+from repro.netem import Network
+from repro.netem.topo import LinearTopo, SingleSwitchTopo, Topo, TreeTopo
+
+
+class TestTopoValidation:
+    def test_duplicate_node_rejected_with_role(self):
+        topo = Topo()
+        topo.add_switch("s1")
+        with pytest.raises(ValueError, match=r"'s1' already .*as switch"):
+            topo.add_host("s1")
+
+    def test_link_to_unknown_node_rejected(self):
+        topo = Topo()
+        topo.add_switch("s1")
+        with pytest.raises(ValueError, match="unknown node 'h1'"):
+            topo.add_link("h1", "s1")
+        with pytest.raises(ValueError, match="unknown node 'h2'"):
+            topo.add_link("s1", "h2")
+        assert topo.links == []
+
+    def test_self_loop_rejected(self):
+        topo = Topo()
+        topo.add_switch("s1")
+        with pytest.raises(ValueError, match="self-loop"):
+            topo.add_link("s1", "s1")
+
+    def test_parallel_links_allowed(self):
+        # multi-port VNF containers hang several links between the
+        # same (switch, container) pair — must not be rejected
+        topo = Topo()
+        topo.add_switch("s1")
+        topo.add_vnf_container("nc1")
+        topo.add_link("s1", "nc1")
+        topo.add_link("s1", "nc1")
+        assert len(topo.links) == 2
+
+    def test_link_opts_normalized(self):
+        topo = Topo()
+        topo.add_switch("s1")
+        topo.add_host("h1")
+        topo.add_link("h1", "s1", bandwidth=10e6, delay=0.002)
+        _n1, _n2, opts = topo.links[0]
+        assert opts == {"bandwidth": 10e6, "delay": 0.002, "loss": 0.0}
+
+
+class TestSingleSwitchTopo:
+    def test_counts_and_roles(self):
+        topo = SingleSwitchTopo(k=3)
+        assert topo.switches() == ["s1"]
+        assert sorted(topo.hosts()) == ["h1", "h2", "h3"]
+        assert topo.vnf_containers() == []
+        assert len(topo.links) == 3
+
+
+class TestLinearTopo:
+    def test_single_host_per_switch_naming(self):
+        topo = LinearTopo(k=3, n=1)
+        assert sorted(topo.switches()) == ["s1", "s2", "s3"]
+        assert sorted(topo.hosts()) == ["h1", "h2", "h3"]
+        # 2 trunk links + 3 access links
+        assert len(topo.links) == 5
+
+    def test_multi_host_per_switch_naming(self):
+        topo = LinearTopo(k=2, n=2)
+        assert sorted(topo.hosts()) == ["h1s1", "h1s2", "h2s1", "h2s2"]
+        assert len(topo.links) == 1 + 4
+
+    def test_link_opts_propagate_to_every_link(self):
+        topo = LinearTopo(k=3, n=2, bandwidth=5e6, delay=0.001)
+        assert len(topo.links) == 2 + 6
+        for _n1, _n2, opts in topo.links:
+            assert opts["bandwidth"] == 5e6
+            assert opts["delay"] == 0.001
+
+    def test_builds_into_network(self):
+        net = Network.build(LinearTopo(k=2, n=1, delay=0.001))
+        assert len(net.hosts()) == 2
+        assert len(net.switches()) == 2
+
+
+class TestTreeTopo:
+    def test_counts(self):
+        topo = TreeTopo(depth=2, fanout=2)
+        # 1 root + 2 level-1 switches, 4 leaf hosts
+        assert len(topo.switches()) == 3
+        assert len(topo.hosts()) == 4
+        assert len(topo.links) == 6
+
+    def test_depth_three_counts(self):
+        topo = TreeTopo(depth=3, fanout=2)
+        assert len(topo.switches()) == 7
+        assert len(topo.hosts()) == 8
+        assert len(topo.links) == 14
+
+    def test_link_opts_propagate(self):
+        topo = TreeTopo(depth=2, fanout=3, delay=0.002, loss=0.01)
+        assert len(topo.links) == 3 + 9
+        for _n1, _n2, opts in topo.links:
+            assert opts["delay"] == 0.002
+            assert opts["loss"] == 0.01

@@ -7,6 +7,7 @@ overhead accounting can be checked to the tick.
 """
 
 import json
+import os
 
 import pytest
 
@@ -259,6 +260,36 @@ class TestRegressionHarness:
         findings = compare_profiles(base, cur, threshold=0.15)
         assert [(f["kind"], f["name"]) for f in findings] == [
             ("throughput", "udp_pps")]
+
+    def test_comparator_flags_missing_guarded_throughput(self):
+        base = self._snapshot({"core.mapping.solve": 2.0})
+        base["throughput"] = {"udp_pps_wall": 1500.0}
+        cur = self._snapshot({"core.mapping.solve": 2.0})
+        cur["throughput"] = {}
+        findings = compare_profiles(base, cur, threshold=0.15)
+        assert [(f["kind"], f["name"]) for f in findings] == [
+            ("throughput_missing", "udp_pps_wall")]
+        text = render_comparison(findings, 0.15)
+        assert "MISSING" in text and "udp_pps_wall" in text
+
+    def test_comparator_skips_missing_unguarded_throughput(self):
+        base = self._snapshot({"core.mapping.solve": 2.0})
+        base["throughput"] = {"sim_ratio": 3.0}
+        cur = self._snapshot({"core.mapping.solve": 2.0})
+        cur["throughput"] = {}
+        assert compare_profiles(base, cur, threshold=0.15) == []
+
+    def test_guarded_throughput_floor_against_committed_baseline(self):
+        baseline = load_profile(os.path.join(
+            os.path.dirname(__file__), os.pardir, "BENCH_profile.json"))
+        assert baseline["throughput"]["udp_pps_wall"] > 0.0
+        ok = dict(baseline)
+        assert compare_profiles(baseline, ok, threshold=0.15) == []
+        slow = json.loads(json.dumps(baseline))
+        slow["throughput"]["udp_pps_wall"] *= 0.8  # -20%
+        findings = compare_profiles(baseline, slow, threshold=0.15)
+        assert ("throughput", "udp_pps_wall") in [
+            (f["kind"], f["name"]) for f in findings]
 
     def test_comparator_skips_absent_regions(self):
         base = self._snapshot({"core.mapping.solve": 2.0,

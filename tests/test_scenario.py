@@ -1,0 +1,335 @@
+"""Tests for the scenario engine: spec parsing, workload determinism
+(the bit-identical-schedule contract), the campaign runner's result
+bundles, the cross-seed analyzer, and the ``escape scenario`` CLI.
+
+The determinism test is the acceptance criterion for the whole
+subsystem: two schedules built from the same (scenario, seed) must
+serialize to byte-identical JSON, because every published campaign
+number rests on re-runnable workloads.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.scenario import (CampaignRunner, Scenario, load_bundles,
+                            load_scenario, render_report, run_scenario)
+from repro.scenario.analyzer import AnalyzerError, report_dict
+from repro.scenario.spec import SpecError, parse_simple_yaml
+from repro.scenario.workload import (CHAIN_TEMPLATES, Workload,
+                                     WorkloadError, build_workload,
+                                     diurnal_factor)
+from repro.scenario.zoo import FatTreeTopo, build_topology
+from repro.cli import main as cli_main
+
+SMOKE_SCENARIO = {
+    "name": "smoke",
+    "duration": 2.0,
+    "seeds": [1],
+    "topology": {"kind": "fat_tree", "k": 2, "containers_per_pod": 1,
+                 "container_ports": 4},
+    "chains": {"count": 1, "templates": ["bump"]},
+    "workload": {"subscribers_per_sap": 50, "flows_per_subscriber": 0.05,
+                 "flow_rate_pps": 100, "flow_duration": 0.2,
+                 "max_flows": 8},
+    "sla": {"max_delay": 0.1},
+}
+
+
+class TestSpecParsing:
+    YAML = """\
+# a comment
+name: parse-check
+duration: 3.5
+seeds: [1, 2, 3]
+topology:
+  kind: fat_tree
+  k: 2
+chains:
+  count: 2
+  templates: [web, bump]
+workload:
+  diurnal: {period: 3.5, trough: 0.4}
+chaos:
+  faults:
+    - {kind: vnf_crash, at: 1.0}
+    - kind: link_down
+      at: 2.0
+      duration: 0.5
+"""
+
+    def test_mini_yaml_parser(self):
+        data = parse_simple_yaml(self.YAML)
+        assert data["name"] == "parse-check"
+        assert data["duration"] == 3.5
+        assert data["seeds"] == [1, 2, 3]
+        assert data["topology"] == {"kind": "fat_tree", "k": 2}
+        assert data["chains"]["templates"] == ["web", "bump"]
+        assert data["workload"]["diurnal"] == {"period": 3.5,
+                                               "trough": 0.4}
+        assert data["chaos"]["faults"] == [
+            {"kind": "vnf_crash", "at": 1.0},
+            {"kind": "link_down", "at": 2.0, "duration": 0.5}]
+
+    def test_mini_yaml_matches_pyyaml_when_available(self):
+        yaml = pytest.importorskip("yaml")
+        assert parse_simple_yaml(self.YAML) == yaml.safe_load(self.YAML)
+
+    def test_mini_yaml_rejects_tabs(self):
+        with pytest.raises(SpecError, match="tabs"):
+            parse_simple_yaml("a:\n\tb: 1")
+
+    def test_load_scenario_from_dict_string_and_file(self, tmp_path):
+        from_dict = load_scenario(dict(SMOKE_SCENARIO))
+        from_string = load_scenario(self.YAML)
+        path = tmp_path / "scen.yaml"
+        path.write_text(self.YAML)
+        from_file = load_scenario(str(path))
+        assert from_dict.name == "smoke"
+        assert from_string.name == from_file.name == "parse-check"
+        assert from_file.seeds == [1, 2, 3]
+
+    def test_missing_file(self):
+        with pytest.raises(SpecError, match="no such scenario file"):
+            load_scenario("does/not/exist.yaml")
+
+    def test_unknown_key_rejected(self):
+        bad = dict(SMOKE_SCENARIO, typo_key=1)
+        with pytest.raises(SpecError, match="typo_key"):
+            load_scenario(bad)
+
+    def test_validation(self):
+        with pytest.raises(SpecError, match="name"):
+            Scenario(name="", topology={"kind": "wan"})
+        with pytest.raises(SpecError, match="duration"):
+            Scenario(name="x", topology={"kind": "wan"}, duration=0)
+        with pytest.raises(SpecError, match="topology"):
+            Scenario(name="x", topology={})
+
+    def test_round_trip(self):
+        scenario = load_scenario(dict(SMOKE_SCENARIO))
+        again = Scenario.from_dict(scenario.to_dict())
+        assert again.to_dict() == scenario.to_dict()
+
+    def test_reference_scenarios_load(self):
+        root = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples", "scenarios")
+        names = [name for name in sorted(os.listdir(root))
+                 if name.endswith((".yaml", ".yml"))]
+        assert len(names) >= 2
+        for name in names:
+            scenario = load_scenario(os.path.join(root, name))
+            assert scenario.seeds
+            assert scenario.topology["kind"]
+
+
+class TestWorkload:
+    def test_diurnal_factor_bounds(self):
+        for t in (0.0, 1.3, 2.5, 7.9):
+            factor = diurnal_factor(t, period=10.0, trough=0.3)
+            assert 0.3 <= factor <= 1.0
+        assert diurnal_factor(5.0, 10.0, 0.3) == pytest.approx(1.0)
+        assert diurnal_factor(0.0, 10.0, 0.3) == pytest.approx(0.3)
+
+    def test_unknown_workload_key(self):
+        with pytest.raises(WorkloadError, match="flows_per_sec"):
+            Workload.from_dict({"flows_per_sec": 1})
+
+    def test_unknown_template(self):
+        topo = FatTreeTopo(k=2)
+        with pytest.raises(WorkloadError, match="unknown chain template"):
+            build_workload(topo, 1, 2.0,
+                           chains_spec={"count": 1,
+                                        "templates": ["nat64"]})
+
+    def test_schedule_deterministic_bit_identical(self):
+        """THE acceptance criterion: same seed -> byte-identical
+        schedule JSON."""
+        spec = SMOKE_SCENARIO
+        one = build_workload(build_topology(spec["topology"]), 1,
+                             spec["duration"],
+                             workload_spec=spec["workload"],
+                             chains_spec=spec["chains"],
+                             sla_spec=spec["sla"])
+        two = build_workload(build_topology(spec["topology"]), 1,
+                             spec["duration"],
+                             workload_spec=spec["workload"],
+                             chains_spec=spec["chains"],
+                             sla_spec=spec["sla"])
+        assert json.dumps(one.to_dict(), sort_keys=True) == \
+            json.dumps(two.to_dict(), sort_keys=True)
+
+    def test_different_seeds_differ(self):
+        spec = SMOKE_SCENARIO
+        topo = build_topology(spec["topology"])
+        schedules = [build_workload(topo, seed, 4.0,
+                                    workload_spec=spec["workload"],
+                                    chains_spec=spec["chains"])
+                     for seed in (1, 2)]
+        assert schedules[0].to_dict() != schedules[1].to_dict()
+
+    def test_sap_pairs_never_reused(self):
+        topo = FatTreeTopo(k=4)
+        schedule = build_workload(topo, 3, 1.0,
+                                  chains_spec={"count": 6})
+        pairs = [frozenset((chain["src"], chain["dst"]))
+                 for chain in schedule.chains]
+        assert len(pairs) == len(set(pairs)) == 6
+
+    def test_chain_requests_carry_sla(self):
+        topo = FatTreeTopo(k=2)
+        schedule = build_workload(topo, 1, 1.0,
+                                  chains_spec={"count": 1,
+                                               "templates": ["secure"]},
+                                  sla_spec={"max_delay": 0.05})
+        sg = schedule.chains[0]["sg"]
+        assert [vnf["type"] for vnf in sg["vnfs"]] == ["firewall", "dpi"]
+        assert sg["requirements"][0]["max_delay"] == 0.05
+        assert sg["requirements"][0]["from"] == schedule.chains[0]["src"]
+
+    def test_templates_cycle_round_robin(self):
+        topo = FatTreeTopo(k=4)
+        schedule = build_workload(
+            topo, 1, 1.0,
+            chains_spec={"count": 4, "templates": ["web", "bump"]})
+        assert [chain["template"] for chain in schedule.chains] == \
+            ["web", "bump", "web", "bump"]
+
+    def test_too_many_chains_for_hosts(self):
+        topo = FatTreeTopo(k=2)  # 2 hosts -> 1 distinct pair
+        with pytest.raises(WorkloadError, match="cannot place"):
+            build_workload(topo, 1, 1.0, chains_spec={"count": 2})
+
+    def test_flows_sorted_and_capped(self):
+        spec = dict(SMOKE_SCENARIO["workload"], max_flows=3)
+        schedule = build_workload(build_topology(SMOKE_SCENARIO["topology"]),
+                                  1, 5.0, workload_spec=spec,
+                                  chains_spec=SMOKE_SCENARIO["chains"])
+        starts = [flow["start"] for flow in schedule.flows]
+        assert starts == sorted(starts)
+        assert len(schedule.flows) <= 3
+
+    def test_template_catalog_shape(self):
+        for name, stages in CHAIN_TEMPLATES.items():
+            assert stages, name
+            for vnf_type, params in stages:
+                assert isinstance(vnf_type, str)
+                assert isinstance(params, dict)
+
+
+class TestCampaignRunner:
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory):
+        results = tmp_path_factory.mktemp("results")
+        runner = CampaignRunner(dict(SMOKE_SCENARIO),
+                                results_dir=str(results))
+        runner.run()
+        return runner
+
+    def test_bundle_written(self, campaign):
+        run_dir = campaign.run_dir(1)
+        assert os.path.isfile(os.path.join(run_dir, "bundle.json"))
+        assert os.path.isfile(os.path.join(run_dir, "events.jsonl"))
+
+    def test_bundle_contents(self, campaign):
+        bundle = campaign.bundles[0]
+        assert bundle["schema"] == 1
+        assert bundle["seed"] == 1
+        assert bundle["scenario"]["name"] == "smoke"
+        workload = bundle["workload"]
+        assert workload["packets_sent"] > 0
+        assert workload["packets_received"] == workload["packets_sent"]
+        assert workload["delay_p50"] is not None
+        assert workload["delay_p50"] <= workload["delay_p99"]
+        assert bundle["chains"]["deployed"][0]["name"].startswith("chain1")
+        assert bundle["chains"]["failed"] == []
+        assert bundle["sla"]["monitored_chains"] == 1
+        assert bundle["recovery"]["unrecovered"] == []
+        assert bundle["throughput"]["udp_pps_wall"] > 0
+
+    def test_gate_passes(self, campaign):
+        assert campaign.gate() == []
+
+    def test_events_log_has_lines(self, campaign):
+        events_path = campaign.bundles[0]["events"]["path"]
+        with open(events_path) as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert lines
+        assert campaign.bundles[0]["events"]["count"] == len(lines)
+
+    def test_gate_flags_all_packets_lost(self):
+        runner = CampaignRunner(dict(SMOKE_SCENARIO))
+        runner.bundles = [{
+            "seed": 9,
+            "chains": {"failed": [], "deployed": []},
+            "recovery": {"unrecovered": []},
+            "workload": {"packets_sent": 10, "packets_received": 0},
+        }]
+        assert any("all workload packets lost" in problem
+                   for problem in runner.gate())
+
+    def test_run_scenario_without_write(self):
+        bundles = run_scenario(dict(SMOKE_SCENARIO), write=False)
+        assert len(bundles) == 1
+        assert "events" not in bundles[0]
+
+
+class TestAnalyzerAndCli:
+    @pytest.fixture(scope="class")
+    def results_dir(self, tmp_path_factory):
+        results = tmp_path_factory.mktemp("cli-results")
+        spec = tmp_path_factory.mktemp("spec") / "smoke.json"
+        spec.write_text(json.dumps(SMOKE_SCENARIO))
+        code = cli_main(["scenario", "run", str(spec), "--seed", "1",
+                         "--seed", "2", "--results-dir", str(results),
+                         "--quiet"])
+        assert code == 0
+        return str(results)
+
+    def test_two_bundles_on_disk(self, results_dir):
+        bundles = load_bundles(results_dir)
+        assert [bundle["seed"] for bundle in bundles] == [1, 2]
+
+    def test_render_report_table(self, results_dir):
+        text = render_report(load_bundles(results_dir))
+        assert "campaign smoke (2 run(s))" in text
+        lines = text.splitlines()
+        assert any(line.strip().startswith("1 ") for line in lines)
+        assert any(line.strip().startswith("mean") for line in lines)
+
+    def test_report_dict_aggregate(self, results_dir):
+        data = report_dict(load_bundles(results_dir))
+        campaign = data["campaigns"][0]
+        assert campaign["scenario"] == "smoke"
+        assert len(campaign["rows"]) == 2
+        aggregate = campaign["aggregate"]
+        assert aggregate["seeds"] == [1, 2]
+        assert aggregate["unrecovered_total"] == 0
+        assert aggregate["pps_sim"] > 0
+
+    def test_cli_report_json(self, results_dir, capsys):
+        assert cli_main(["scenario", "report", results_dir,
+                         "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["campaigns"][0]["scenario"] == "smoke"
+
+    def test_cli_report_table(self, results_dir, capsys):
+        assert cli_main(["scenario", "report", results_dir]) == 0
+        assert "campaign smoke" in capsys.readouterr().out
+
+    def test_cli_report_missing_path(self, capsys):
+        assert cli_main(["scenario", "report",
+                         "definitely/not/there"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_cli_list(self, capsys):
+        assert cli_main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "topology kinds:" in out
+        assert "fat_tree" in out and "wan" in out and "waxman" in out
+        assert "chain templates:" in out
+
+    def test_load_bundles_rejects_empty_dir(self, tmp_path):
+        with pytest.raises(AnalyzerError, match="no bundle.json"):
+            load_bundles(str(tmp_path))
