@@ -12,15 +12,22 @@ Usage::
     python benchmarks/run_profile.py --out BENCH_profile.json
     python benchmarks/run_profile.py --out current.json \
         --check BENCH_profile.json        # exit 1 on regression
+    python benchmarks/run_profile.py --attribution attribution.json
 
 ``--check`` compares the fresh snapshot against a committed baseline
 with :func:`compare_profiles` (guarded regions +15% score, throughput
 -15%) — the CI perf gate.  ``udp_pps_wall`` is a *guarded* throughput
 floor: the gate fails both when it drops more than 15% below the
 baseline and when the current snapshot stops reporting it at all.
+
+``--attribution`` additionally writes the unified attribution report
+(profiler regions + per-event-kind dispatch accounting + throughput,
+see :mod:`repro.telemetry.introspect`) — the artifact CI uploads and
+``escape perf diff`` consumes.
 """
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -31,6 +38,8 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
 
 from benchmarks.helpers import chain_sg, demo_topology  # noqa: E402
 from repro.core import ESCAPE  # noqa: E402
+from repro.telemetry.introspect import (build_report,
+                                        render_report)  # noqa: E402
 from repro.telemetry.regression import (calibrate, compare_profiles,
                                         load_profile, profile_snapshot,
                                         render_comparison,
@@ -59,7 +68,8 @@ def _burst(escape):
 
 
 def run_workload(rounds=ROUNDS):
-    """The standard profiled workload; returns (profiler, throughput).
+    """The standard profiled workload; returns (profiler, dispatch
+    report, throughput, packets).
 
     OpenFlow wire serialization is on and the profiler is enabled
     across deploy/terminate cycles, so the snapshot covers the
@@ -75,13 +85,17 @@ def run_workload(rounds=ROUNDS):
     escape.start()
     _burst(escape)  # warm-up, unprofiled (plain L2 forwarding)
     profiler = escape.profiler
+    accounting = escape.accounting
     best_stats = {}
     best_wall = None
+    best_dispatch = None
     packets = 0
     sequence = 0
     for _ in range(rounds):
         profiler.reset()
         profiler.enable()
+        accounting.reset()
+        accounting.enable()
         # control-path exercise: repeated deploy/terminate cycles
         for _ in range(2):
             name = "ctl-%d" % sequence
@@ -94,10 +108,12 @@ def run_workload(rounds=ROUNDS):
         escape.deploy_service(chain_sg(1, name=name))
         elapsed, delivered = _burst(escape)
         profiler.disable()
+        accounting.disable()
         escape.terminate_service(name)
         packets += delivered
         if best_wall is None or elapsed < best_wall:
             best_wall = elapsed
+            best_dispatch = accounting.report()
         for region, stat in profiler.stats.items():
             kept = best_stats.get(region)
             if kept is None or stat.per_call < kept.per_call:
@@ -108,7 +124,7 @@ def run_workload(rounds=ROUNDS):
         "udp_pps_wall": PACKETS / best_wall,
         "sim_ratio": (PACKETS / RATE_PPS + 0.5) / best_wall,
     }
-    return profiler, throughput, packets
+    return profiler, best_dispatch, throughput, packets
 
 
 def main(argv=None):
@@ -123,17 +139,23 @@ def main(argv=None):
                         help="fractional regression gate (default 0.15)")
     parser.add_argument("--rounds", type=int, default=ROUNDS,
                         help="workload repetitions (default %d)" % ROUNDS)
+    parser.add_argument("--attribution", metavar="PATH",
+                        help="also write the unified attribution "
+                             "report (regions + dispatch kinds + "
+                             "throughput) here")
     args = parser.parse_args(argv)
 
     # best-of-several calibration: the unit divides every score, so
     # its own jitter would masquerade as uniform regressions
     calibration = min(calibrate() for _ in range(3))
-    profiler, throughput, packets = run_workload(rounds=args.rounds)
+    profiler, dispatch, throughput, packets = run_workload(
+        rounds=args.rounds)
+    meta = {"workload": "demo-chain udp burst",
+            "packets_per_round": PACKETS, "rounds": args.rounds,
+            "python": "%d.%d" % sys.version_info[:2]}
     snapshot = profile_snapshot(
         profiler, throughput=throughput, calibration=calibration,
-        meta={"workload": "demo-chain udp burst",
-              "packets_per_round": PACKETS, "rounds": args.rounds,
-              "python": "%d.%d" % sys.version_info[:2]})
+        meta=meta)
 
     print("profiled %d packets over %d round(s), calibration %.6fs"
           % (packets, args.rounds, calibration))
@@ -142,6 +164,16 @@ def main(argv=None):
     if args.out:
         write_profile(args.out, snapshot)
         print("wrote %s" % args.out)
+
+    if args.attribution:
+        report = build_report(
+            profiler, accounting=dispatch, throughput=throughput,
+            calibration=calibration, meta=meta)
+        with open(args.attribution, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(render_report(report))
+        print("wrote %s" % args.attribution)
 
     if args.check:
         baseline = load_profile(args.check)

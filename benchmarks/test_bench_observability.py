@@ -190,6 +190,88 @@ def test_unprofiled_dataplane_no_regression(forwarding_escape):
         % (retimed, baseline))
 
 
+# -- dispatch accounting overhead ---------------------------------------------
+
+def test_accounting_disabled_dispatch_cost(benchmark):
+    """The disabled hot path: one attribute read per dispatched event,
+    same budget as the disabled profiler."""
+    from repro.sim import Simulator
+    sim = Simulator()
+    assert not sim.accounting.enabled
+
+    def dispatch_event():
+        sim.schedule(0.0, lambda: None)
+        sim.step()
+    benchmark(dispatch_event)
+    assert sim.accounting.dispatched == 0
+
+
+def test_accounting_enabled_dispatch_cost(benchmark):
+    """Full per-event bookkeeping: kind lookup, lag, self-time."""
+    from repro.sim import Simulator
+    sim = Simulator()
+    sim.accounting.enable()
+
+    def dispatch_event():
+        sim.schedule(0.0, lambda: None)
+        sim.step()
+    benchmark(dispatch_event)
+    assert sim.accounting.dispatched > 0
+    assert sim.accounting.kind_stats()
+
+
+def test_unaccounted_dataplane_no_regression(forwarding_escape):
+    """The <5% guardrail extended to dispatch accounting: after it has
+    been on and off again, the unaccounted dataplane must cost what it
+    did before accounting ever ran (min-of-N to de-noise)."""
+    escape = forwarding_escape
+    accounting = escape.accounting
+    assert not accounting.enabled
+
+    _udp_workload(escape)  # warm-up
+    baseline = _min_of(lambda: _udp_workload(escape))
+
+    accounting.enable()
+    _udp_workload(escape)
+    accounting.disable()
+    accounting.reset()
+
+    retimed = _min_of(lambda: _udp_workload(escape))
+    assert retimed <= baseline * 1.05, (
+        "unaccounted dataplane regressed: %.4fs vs %.4fs baseline"
+        % (retimed, baseline))
+
+
+def test_attribution_reconciles_with_profiler(forwarding_escape):
+    """The acceptance criterion: per-kind self-times sum to within 10%
+    of the profiler's inclusive sim.event.dispatch time over one
+    workload burst (both layers watching the same events)."""
+    from repro.telemetry.introspect import COVERAGE_TOLERANCE, build_report
+    escape = forwarding_escape
+    profiler = escape.profiler
+    accounting = escape.accounting
+    profiler.reset()
+    profiler.enable()
+    accounting.reset()
+    accounting.enable()
+    try:
+        _udp_workload(escape)
+    finally:
+        profiler.disable()
+        accounting.disable()
+    report = build_report(profiler, accounting)
+    coverage = report["coverage"]
+    assert coverage["ratio"] is not None
+    assert abs(coverage["ratio"] - 1.0) <= COVERAGE_TOLERANCE, (
+        "kind self-times %.6fs vs dispatch cum %.6fs (ratio %.3f)"
+        % (coverage["kinds_self_s"], coverage["dispatch_cum_s"],
+           coverage["ratio"]))
+    assert report["dispatch"]["dispatched"] == \
+        profiler.region("sim.event.dispatch").calls
+    profiler.reset()
+    accounting.reset()
+
+
 def test_series_sampling_sweep(benchmark):
     """One registry.sample() sweep over a realistically sized registry
     (the recurring cost the series sampler pays 4x per sim second)."""

@@ -5,7 +5,11 @@
     escape scenario run  <scenario.(yaml|json)> [--seed N]... \\
                          [--results-dir DIR] [--no-gate] [--quiet]
     escape scenario list [DIR]...
-    escape scenario report <bundle.json|results-dir>... [--json]
+    escape scenario report <bundle.json|results-dir>... \\
+                           [--format table|json|csv]
+    escape perf report <source> [--json] [--limit N]
+    escape perf diff <baseline> <current> [--threshold F] \\
+                     [--json] [--no-gate]
 
 ``scenario run`` executes the campaign (every ``--seed``, or the
 scenario's own ``seeds:`` list), writes one result bundle per run,
@@ -13,6 +17,13 @@ prints the cross-seed comparison table and — unless ``--no-gate`` —
 exits non-zero when any chain deploy failed, any chain stayed
 unrecovered, or the workload delivered nothing (the CI scenario-smoke
 criterion).
+
+``perf report`` renders one perf-attribution report (dispatch
+accounting + profiler regions + throughput); ``perf diff`` compares
+two and exits non-zero when a guarded region or throughput floor
+regressed beyond the threshold.  Both accept an attribution report, a
+``BENCH_profile.json`` snapshot, a result ``bundle.json``, or a
+results directory holding exactly one bundle.
 
 Also reachable as ``python -m repro ...`` when the package is on
 ``PYTHONPATH`` but not installed.
@@ -52,8 +63,42 @@ def _add_scenario_parser(subparsers) -> None:
         "report", help="aggregate result bundles across seeds")
     report.add_argument("paths", nargs="+",
                         help="bundle files or results directories")
+    report.add_argument("--format", choices=("table", "json", "csv"),
+                        default=None, dest="format",
+                        help="output format (default: table)")
     report.add_argument("--json", action="store_true",
-                        help="emit the aggregation as JSON")
+                        help="shorthand for --format json")
+
+
+def _add_perf_parser(subparsers) -> None:
+    perf = subparsers.add_parser(
+        "perf", help="perf attribution reports and cross-run diffing")
+    actions = perf.add_subparsers(dest="action")
+
+    report = actions.add_parser(
+        "report", help="render one attribution report")
+    report.add_argument("source",
+                        help="attribution report, BENCH_profile.json, "
+                             "bundle.json, or a results dir with one "
+                             "bundle")
+    report.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    report.add_argument("--limit", type=int, default=12, metavar="N",
+                        help="rows per table (0 = all; default 12)")
+
+    diff = actions.add_parser(
+        "diff", help="calibration-normalized delta of two perf sources")
+    diff.add_argument("baseline", help="baseline perf source")
+    diff.add_argument("current", help="current perf source")
+    diff.add_argument("--threshold", type=float, default=0.15,
+                      metavar="F",
+                      help="guarded regression threshold "
+                           "(default 0.15 = 15%%)")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the diff as JSON")
+    diff.add_argument("--no-gate", action="store_true",
+                      help="exit 0 even when the gate found "
+                           "regressions")
 
 
 def _cmd_scenario_run(args) -> int:
@@ -107,17 +152,56 @@ def _cmd_scenario_list(args) -> int:
 
 def _cmd_scenario_report(args) -> int:
     import json
-    from repro.scenario import load_bundles, render_report
+    from repro.scenario import load_bundles, render_csv, render_report
     from repro.scenario.analyzer import AnalyzerError, report_dict
+    fmt = args.format or ("json" if args.json else "table")
     try:
         bundles = load_bundles(args.paths)
     except AnalyzerError as exc:
         print("*** %s" % exc, file=sys.stderr)
         return 2
-    if args.json:
+    if fmt == "json":
         print(json.dumps(report_dict(bundles), indent=2, sort_keys=True))
+    elif fmt == "csv":
+        print(render_csv(bundles))
     else:
         print(render_report(bundles))
+    return 0
+
+
+def _cmd_perf_report(args) -> int:
+    import json
+    from repro.telemetry.introspect import (IntrospectError, load_report,
+                                            render_report)
+    try:
+        report = load_report(args.source)
+    except IntrospectError as exc:
+        print("*** %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report, limit=args.limit))
+    return 0
+
+
+def _cmd_perf_diff(args) -> int:
+    import json
+    from repro.telemetry.introspect import (IntrospectError, diff_reports,
+                                            load_report, render_diff)
+    try:
+        baseline = load_report(args.baseline)
+        current = load_report(args.current)
+        diff = diff_reports(baseline, current, threshold=args.threshold)
+    except IntrospectError as exc:
+        print("*** %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(render_diff(diff))
+    if diff["findings"] and not args.no_gate:
+        return 1
     return 0
 
 
@@ -127,17 +211,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="ESCAPE service-chain prototyping environment")
     subparsers = parser.add_subparsers(dest="command")
     _add_scenario_parser(subparsers)
+    _add_perf_parser(subparsers)
     args = parser.parse_args(argv)
-    if args.command != "scenario":
-        parser.print_help()
+    if args.command == "scenario":
+        if args.action == "run":
+            return _cmd_scenario_run(args)
+        if args.action == "list":
+            return _cmd_scenario_list(args)
+        if args.action == "report":
+            return _cmd_scenario_report(args)
+        parser.parse_args(["scenario", "--help"])
         return 2
-    if args.action == "run":
-        return _cmd_scenario_run(args)
-    if args.action == "list":
-        return _cmd_scenario_list(args)
-    if args.action == "report":
-        return _cmd_scenario_report(args)
-    parser.parse_args(["scenario", "--help"])
+    if args.command == "perf":
+        if args.action == "report":
+            return _cmd_perf_report(args)
+        if args.action == "diff":
+            return _cmd_perf_diff(args)
+        parser.parse_args(["perf", "--help"])
+        return 2
+    parser.print_help()
     return 2
 
 

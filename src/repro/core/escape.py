@@ -226,6 +226,25 @@ class ESCAPE:
         registry.gauge("click.element.pushes").set(pushes)
         registry.gauge("click.element.pulls").set(pulls)
         registry.gauge("netem.container.running_vnfs").set(running)
+        acct = self.sim.accounting
+        registry.gauge("sim.heap.depth",
+                       "events pending in the scheduler heap").set(
+            self.sim.heap_depth)
+        registry.gauge("sim.events.scheduled",
+                       "events scheduled since simulator start").set(
+            self.sim.scheduled)
+        registry.gauge("sim.events.dispatched",
+                       "events dispatched while accounting was on").set(
+            acct.dispatched)
+        registry.gauge("sim.events.coalescable",
+                       "dispatched events sharing a timestamp with "
+                       "their predecessor").set(acct.coalescable)
+        registry.gauge("sim.events.cancelled_popped",
+                       "cancelled events discarded by the loop").set(
+            acct.cancelled_popped)
+        registry.gauge("sim.heap.max_depth",
+                       "peak heap depth seen while accounting was on"
+                       ).set(acct.max_heap_depth)
 
     # -- construction -------------------------------------------------------
 
@@ -495,12 +514,18 @@ class ESCAPE:
         """The scoped-region wall-clock profiler (off by default)."""
         return self.telemetry.profiler
 
+    @property
+    def accounting(self):
+        """Per-event-kind dispatch accounting on the simulator loop
+        (off by default, same overhead budget as the profiler)."""
+        return self.sim.accounting
+
     def cli(self) -> CLI:
         """The interactive console: Mininet-style network commands plus
         ESCAPE service commands (services / deploy / undeploy / migrate
         / topology / metrics / trace), the observability commands
-        (health / sla / events / record / profile / flame / top /
-        series) and fault-injection commands (chaos)."""
+        (health / sla / events / record / profile / dispatch / flame /
+        top / series) and fault-injection commands (chaos)."""
         console = CLI(self.net)
         console.commands.update({
             "services": self._cli_services,
@@ -518,6 +543,7 @@ class ESCAPE:
             "record": self._cli_record,
             "chaos": self._cli_chaos,
             "profile": self._cli_profile,
+            "dispatch": self._cli_dispatch,
             "flame": self._cli_flame,
             "top": self._cli_top,
             "series": self._cli_series,
@@ -778,6 +804,26 @@ class ESCAPE:
             profiler.reset()
             return "profiler statistics cleared"
         return "usage: profile [on|off|reset|report]"
+
+    def _cli_dispatch(self, args) -> str:
+        acct = self.sim.accounting
+        if not args or args[0] in ("report", "status"):
+            state = "on" if acct.enabled else "off"
+            if not acct.kinds:
+                return ("dispatch accounting is %s, no events recorded "
+                        "(dispatch on, then run traffic)" % state)
+            return acct.render_top(limit=0)
+        command = args[0]
+        if command == "on":
+            acct.enable()
+            return "dispatch accounting enabled"
+        if command == "off":
+            acct.disable()
+            return "dispatch accounting disabled"
+        if command == "reset":
+            acct.reset()
+            return "dispatch accounting cleared"
+        return "usage: dispatch [on|off|reset|report]"
 
     def _cli_flame(self, args) -> str:
         profiler = self.telemetry.profiler

@@ -21,7 +21,8 @@ CLI: ``escape scenario run|list|report`` (see :mod:`repro.cli`).
 """
 
 from repro.scenario.analyzer import (CampaignReport, load_bundles,
-                                     render_report)
+                                     render_csv, render_report,
+                                     report_dict)
 from repro.scenario.runner import CampaignRunner, ScenarioError, run_scenario
 from repro.scenario.spec import Scenario, load_scenario
 from repro.scenario.workload import (CHAIN_TEMPLATES, Workload,
@@ -33,5 +34,6 @@ __all__ = [
     "CampaignReport", "CampaignRunner", "CHAIN_TEMPLATES", "FatTreeTopo",
     "Scenario", "ScenarioError", "TOPOLOGY_KINDS", "WanTopo", "WaxmanTopo",
     "Workload", "WorkloadSchedule", "build_topology", "build_workload",
-    "load_bundles", "load_scenario", "render_report", "run_scenario",
+    "load_bundles", "load_scenario", "render_csv", "render_report",
+    "report_dict", "run_scenario",
 ]

@@ -4,11 +4,16 @@
 under the given paths, groups them by scenario, and renders one table
 per scenario — a row per seed plus a mean row — over the headline
 columns: delivered pps (simulated and wall-clock), p50/p99 one-way
-delay, loss ratio, SLA violation ratio, average MTTR and unrecovered
-chain count.  :func:`report_dict` exposes the same aggregation as
-JSON for dashboards and trajectory tracking.
+delay, loss ratio, SLA violation ratio, average MTTR, unrecovered
+chain count, and (for schema-2 bundles) dispatched-event count and
+same-timestamp coalescability ratio.  :func:`report_dict` exposes the
+same aggregation as JSON for dashboards and trajectory tracking, and
+:func:`render_csv` flattens the per-seed rows to CSV for external
+plotting.
 """
 
+import csv
+import io
 import json
 import os
 from typing import Any, Dict, Iterable, List, Optional, Union
@@ -61,6 +66,7 @@ def _row(bundle: Dict[str, Any]) -> Dict[str, Any]:
     recovery = bundle.get("recovery", {})
     sla = bundle.get("sla", {})
     throughput = bundle.get("throughput", {})
+    dispatch = bundle.get("dispatch") or {}
     return {
         "seed": bundle.get("seed"),
         "pps_sim": throughput.get("udp_pps_sim"),
@@ -76,6 +82,8 @@ def _row(bundle: Dict[str, Any]) -> Dict[str, Any]:
                                .get("deployed") or ()),
         "chains_failed": len(bundle.get("chains", {})
                              .get("failed") or ()),
+        "events": dispatch.get("dispatched"),
+        "coalesce_ratio": dispatch.get("coalescable_ratio"),
     }
 
 
@@ -96,7 +104,8 @@ class CampaignReport:
 
     def aggregate(self) -> Dict[str, Any]:
         keys = ("pps_sim", "pps_wall", "delay_p50", "delay_p99",
-                "loss_ratio", "sla_violation_ratio", "mttr_avg")
+                "loss_ratio", "sla_violation_ratio", "mttr_avg",
+                "events", "coalesce_ratio")
         summary: Dict[str, Any] = {
             key: _mean([row[key] for row in self.rows]) for key in keys}
         summary["seeds"] = [row["seed"] for row in self.rows]
@@ -134,7 +143,7 @@ def _fmt(value: Optional[float], pattern: str = "%.4g") -> str:
 _COLUMNS = (
     ("seed", 6), ("pps_sim", 9), ("pps_wall", 9), ("p50[ms]", 8),
     ("p99[ms]", 8), ("loss", 7), ("sla-viol", 8), ("mttr[s]", 8),
-    ("unrec", 5),
+    ("unrec", 5), ("events", 8), ("coalesce", 8),
 )
 
 
@@ -149,6 +158,8 @@ def _render_row(label: str, row: Dict[str, Any]) -> str:
         _fmt(row["sla_violation_ratio"], "%.4f"),
         _fmt(row["mttr_avg"], "%.3f"),
         str(row["unrecovered"]),
+        _fmt(row.get("events"), "%.0f"),
+        _fmt(row.get("coalesce_ratio"), "%.3f"),
     )
     return "  ".join(cell.rjust(width)
                      for cell, (_name, width) in zip(cells, _COLUMNS))
@@ -173,3 +184,26 @@ def render_report(bundles: List[Dict[str, Any]]) -> str:
                          % aggregate["chains_failed_total"])
         lines.append("")
     return "\n".join(lines).rstrip()
+
+
+CSV_FIELDS = ("scenario", "seed", "pps_sim", "pps_wall", "delay_p50",
+              "delay_p99", "loss_ratio", "sla_violation_ratio",
+              "mttr_avg", "repairs", "unrecovered", "chains_deployed",
+              "chains_failed", "events", "coalesce_ratio")
+
+
+def render_csv(bundles: List[Dict[str, Any]]) -> str:
+    """Per-seed rows flattened to CSV (one header, all scenarios),
+    for external plotting without scraping the table output."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_FIELDS,
+                            lineterminator="\n")
+    writer.writeheader()
+    for report in group_reports(bundles):
+        for row in report.rows:
+            record = {"scenario": report.name}
+            record.update({key: ("" if row.get(key) is None
+                                 else row.get(key))
+                           for key in CSV_FIELDS if key != "scenario"})
+            writer.writerow(record)
+    return buffer.getvalue().rstrip()

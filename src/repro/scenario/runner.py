@@ -10,13 +10,18 @@ subscriber workload, and writes one **result bundle** under::
         bundle.json     # everything below, self-contained
         events.jsonl    # the structured event log of the run
 
-Bundle schema (``schema`` = 1): ``scenario`` (the spec), ``seed``,
+Bundle schema (``schema`` = 2): ``scenario`` (the spec), ``seed``,
 ``workload`` (delivery + p50/p99 one-way delay), ``chains``
 (deployed/failed), ``sla`` (per-chain state, breach/violation counts,
 violation ratio), ``recovery`` (actions, MTTR stats, unrecovered),
 ``chaos`` (the injection ledger), ``throughput`` (``udp_pps_wall``,
-``udp_pps_sim``), ``metrics`` (the full telemetry snapshot), and
-``profiler`` (per-region report when the scenario enables profiling).
+``udp_pps_sim``), ``metrics`` (the full telemetry snapshot),
+``dispatch`` (per-event-kind accounting report, unless the scenario
+sets ``accounting: false``), ``calibration_s`` (host-speed
+normalizer, so ``escape perf diff`` can compare bundles from
+different machines), and ``profiler`` (per-region report when the
+scenario enables profiling).  Schema 1 bundles lacked ``dispatch``
+and ``calibration_s``.
 
 The runner never swallows a failed run: chain deploys that raise are
 recorded and counted, and :meth:`CampaignRunner.gate` reproduces the
@@ -33,8 +38,9 @@ from repro.core.sgfile import load_service_graph
 from repro.scenario.spec import Scenario, load_scenario
 from repro.scenario.workload import WorkloadDriver, build_workload
 from repro.scenario.zoo import build_topology
+from repro.telemetry.regression import calibrate
 
-BUNDLE_SCHEMA = 1
+BUNDLE_SCHEMA = 2
 BUNDLE_NAME = "bundle.json"
 EVENTS_NAME = "events.jsonl"
 
@@ -102,6 +108,13 @@ class CampaignRunner:
         self.results_dir = os.fspath(results_dir)
         self.bundles: List[Dict[str, Any]] = []
         self._print = printer or (lambda _line: None)
+        self._calibration: Optional[float] = None
+
+    def calibration(self) -> float:
+        """Host-speed normalizer, measured once per campaign."""
+        if self._calibration is None:
+            self._calibration = calibrate()
+        return self._calibration
 
     # -- single run --------------------------------------------------------
 
@@ -150,6 +163,9 @@ class CampaignRunner:
         if scenario.profile:
             escape.profiler.reset()
             escape.profiler.enable()
+        if scenario.accounting:
+            escape.accounting.reset()
+            escape.accounting.enable()
         driver = WorkloadDriver(escape.net, schedule).arm()
         run_started = time.perf_counter()
         escape.run(scenario.duration)
@@ -158,6 +174,8 @@ class CampaignRunner:
         wall_run = time.perf_counter() - run_started
         if scenario.profile:
             escape.profiler.disable()
+        if scenario.accounting:
+            escape.accounting.disable()
         if engine is not None:
             engine.heal_all()
             escape.run(0.5)
@@ -185,7 +203,10 @@ class CampaignRunner:
                                 if scenario.duration else 0.0),
             },
             "metrics": escape.metrics_snapshot(),
+            "calibration_s": self.calibration(),
         }
+        if scenario.accounting:
+            bundle["dispatch"] = escape.accounting.report()
         if scenario.profile:
             bundle["profiler"] = escape.profiler.report()
 

@@ -233,6 +233,7 @@ class Scenario:
                  chaos: Optional[Dict[str, Any]] = None,
                  mapper: str = "shortest-path",
                  profile: bool = False,
+                 accounting: bool = True,
                  escape_options: Optional[Dict[str, Any]] = None):
         if not name:
             raise SpecError("scenario needs a name")
@@ -251,11 +252,14 @@ class Scenario:
         self.chaos = dict(chaos) if chaos else None
         self.mapper = mapper
         self.profile = bool(profile)
+        # dispatch accounting is cheap enough to default on: bundles
+        # then always carry a per-event-kind attribution section
+        self.accounting = bool(accounting)
         self.escape_options = dict(escape_options or {})
 
     KNOWN_KEYS = ("name", "description", "topology", "duration", "seeds",
                   "workload", "chains", "sla", "chaos", "mapper",
-                  "profile", "escape_options")
+                  "profile", "accounting", "escape_options")
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Scenario":
@@ -284,6 +288,7 @@ class Scenario:
             "chains": self.chains,
             "mapper": self.mapper,
             "profile": self.profile,
+            "accounting": self.accounting,
         }
         if self.sla:
             data["sla"] = self.sla

@@ -16,12 +16,17 @@ The API is intentionally small:
 * :class:`Signal` — a one-shot wakeup primitive processes can wait on.
 """
 
-from repro.sim.core import Event, Process, Signal, SimulationError, Simulator
+from repro.sim.core import (DispatchAccounting, Event, KindStat, Process,
+                            Signal, SimulationError, Simulator,
+                            classify_callback)
 
 __all__ = [
+    "DispatchAccounting",
     "Event",
+    "KindStat",
     "Process",
     "Signal",
     "SimulationError",
     "Simulator",
+    "classify_callback",
 ]

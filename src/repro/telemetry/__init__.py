@@ -20,6 +20,9 @@ from repro.telemetry.events import (DEBUG, ERROR, INFO, SEVERITIES, WARN,
                                     Event, EventError, EventLog)
 from repro.telemetry.export import (snapshot_dict, to_json, to_prometheus,
                                     writable_path, write_snapshot)
+from repro.telemetry.introspect import (IntrospectError, build_report,
+                                        diff_reports, load_report,
+                                        report_from_bundle)
 from repro.telemetry.metrics import (Counter, Gauge, Histogram, Metric,
                                      MetricError, MetricsRegistry, Series)
 from repro.telemetry.profiler import NULL_REGION, Profiler, RegionStat, profile
@@ -27,12 +30,13 @@ from repro.telemetry.trace import NULL_SPAN, Span, Tracer
 
 __all__ = [
     "Counter", "DEBUG", "ERROR", "Event", "EventError", "EventLog",
-    "Gauge", "Histogram", "INFO", "Metric", "MetricError",
-    "MetricsRegistry", "NULL_REGION", "NULL_SPAN", "Profiler",
-    "RegionStat", "SEVERITIES", "Series", "Span", "Telemetry",
-    "Tracer", "WARN", "current", "profile", "set_current",
-    "snapshot_dict", "to_json", "to_prometheus", "writable_path",
-    "write_snapshot",
+    "Gauge", "Histogram", "INFO", "IntrospectError", "Metric",
+    "MetricError", "MetricsRegistry", "NULL_REGION", "NULL_SPAN",
+    "Profiler", "RegionStat", "SEVERITIES", "Series", "Span",
+    "Telemetry", "Tracer", "WARN", "build_report", "current",
+    "diff_reports", "load_report", "profile", "report_from_bundle",
+    "set_current", "snapshot_dict", "to_json", "to_prometheus",
+    "writable_path", "write_snapshot",
 ]
 
 

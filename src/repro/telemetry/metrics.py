@@ -308,12 +308,15 @@ class Series:
 
     def percentile(self, p: float,
                    since: Optional[float] = None) -> Optional[float]:
-        """Nearest-rank percentile of the windowed values."""
+        """Nearest-rank percentile of the windowed values.  None on an
+        empty window; a single sample is every percentile of itself.
+        An out-of-range ``p`` raises regardless of window size — a bad
+        argument is a caller bug, not a data condition."""
+        if p < 0 or p > 100:
+            raise MetricError("percentile must be in [0, 100], got %r" % p)
         values = self.values(since)
         if not values:
             return None
-        if p < 0 or p > 100:
-            raise MetricError("percentile must be in [0, 100], got %r" % p)
         ordered = sorted(values)
         if p == 0:
             return ordered[0]
@@ -321,24 +324,26 @@ class Series:
         return ordered[rank - 1]
 
     def stats(self, since: Optional[float] = None) -> Dict[str, Any]:
-        """One-call summary the CLI ``series`` command renders."""
+        """One-call summary the CLI ``series`` command renders.
+
+        The key set is fixed regardless of window size, so consumers
+        can index without guarding: value keys are None on an empty
+        window, and ``rate``/``delta`` are additionally None with
+        fewer than two points (or a zero time span)."""
         values = self.values(since)
         data: Dict[str, Any] = {
             "points": len(values),
             "recorded": self.recorded,
             "evicted": self.evicted,
+            "latest": values[-1] if values else None,
+            "min": min(values) if values else None,
+            "max": max(values) if values else None,
+            "mean": sum(values) / len(values) if values else None,
+            "p50": self.percentile(50, since),
+            "p90": self.percentile(90, since),
+            "rate": self.rate(since),
+            "delta": self.delta(since),
         }
-        if values:
-            data.update({
-                "latest": values[-1],
-                "min": min(values),
-                "max": max(values),
-                "mean": sum(values) / len(values),
-                "p50": self.percentile(50, since),
-                "p90": self.percentile(90, since),
-                "rate": self.rate(since),
-                "delta": self.delta(since),
-            })
         return data
 
     def __repr__(self) -> str:

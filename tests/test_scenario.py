@@ -234,7 +234,7 @@ class TestCampaignRunner:
 
     def test_bundle_contents(self, campaign):
         bundle = campaign.bundles[0]
-        assert bundle["schema"] == 1
+        assert bundle["schema"] == 2
         assert bundle["seed"] == 1
         assert bundle["scenario"]["name"] == "smoke"
         workload = bundle["workload"]
@@ -247,6 +247,25 @@ class TestCampaignRunner:
         assert bundle["sla"]["monitored_chains"] == 1
         assert bundle["recovery"]["unrecovered"] == []
         assert bundle["throughput"]["udp_pps_wall"] > 0
+
+    def test_bundle_carries_dispatch_accounting(self, campaign):
+        """Schema 2: accounting defaults on, the dispatch section is
+        non-empty and internally consistent (the CI smoke criterion)."""
+        bundle = campaign.bundles[0]
+        assert bundle["calibration_s"] > 0
+        dispatch = bundle["dispatch"]
+        assert dispatch["dispatched"] > 0
+        assert dispatch["kinds"]
+        assert sum(entry["count"] for entry in
+                   dispatch["kinds"].values()) == dispatch["dispatched"]
+        assert any(kind.startswith("netem.link.")
+                   for kind in dispatch["kinds"])
+        assert 0.0 <= dispatch["coalescable_ratio"] <= 1.0
+
+    def test_accounting_false_omits_dispatch_section(self):
+        spec = dict(SMOKE_SCENARIO, accounting=False, duration=1.0)
+        bundles = run_scenario(spec, write=False)
+        assert "dispatch" not in bundles[0]
 
     def test_gate_passes(self, campaign):
         assert campaign.gate() == []
@@ -316,7 +335,68 @@ class TestAnalyzerAndCli:
 
     def test_cli_report_table(self, results_dir, capsys):
         assert cli_main(["scenario", "report", results_dir]) == 0
-        assert "campaign smoke" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "campaign smoke" in out
+        assert "coalesce" in out
+
+    def test_cli_report_format_csv(self, results_dir, capsys):
+        assert cli_main(["scenario", "report", results_dir,
+                         "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        header = lines[0].split(",")
+        assert header[:2] == ["scenario", "seed"]
+        assert "events" in header and "coalesce_ratio" in header
+        assert len(lines) == 3  # header + one row per seed
+        assert lines[1].startswith("smoke,1,")
+        assert lines[2].startswith("smoke,2,")
+
+    def test_cli_report_format_json_matches_json_flag(self, results_dir,
+                                                      capsys):
+        assert cli_main(["scenario", "report", results_dir,
+                         "--format", "json"]) == 0
+        from_format = capsys.readouterr().out
+        assert cli_main(["scenario", "report", results_dir,
+                         "--json"]) == 0
+        assert capsys.readouterr().out == from_format
+
+    def test_cli_perf_report_from_bundle(self, results_dir, capsys):
+        bundles = load_bundles(results_dir)
+        path = bundles[0]["_path"]
+        assert cli_main(["perf", "report", path]) == 0
+        out = capsys.readouterr().out
+        assert "dispatch accounting" in out
+        assert "coalescable" in out
+
+    def test_cli_perf_diff_same_seed_near_zero(self, results_dir,
+                                               capsys):
+        """Acceptance criterion: two same-seed runs diff near zero —
+        here literally the same bundle against itself, plus the gate
+        passing across the two seeds of one campaign."""
+        bundles = load_bundles(results_dir)
+        path = bundles[0]["_path"]
+        assert cli_main(["perf", "diff", path, path, "--json"]) == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["max_abs_delta"] == 0.0
+        assert diff["findings"] == []
+
+    def test_cli_perf_diff_gate_failure_exit_code(self, results_dir,
+                                                  tmp_path, capsys):
+        bundles = load_bundles(results_dir)
+        path = bundles[0]["_path"]
+        with open(path) as handle:
+            worse = json.load(handle)
+        worse["throughput"]["udp_pps_wall"] *= 0.5
+        worse_path = tmp_path / "worse.json"
+        worse_path.write_text(json.dumps(worse))
+        assert cli_main(["perf", "diff", path, str(worse_path)]) == 1
+        capsys.readouterr()
+        assert cli_main(["perf", "diff", path, str(worse_path),
+                         "--no-gate"]) == 0
+        capsys.readouterr()
+
+    def test_cli_perf_report_bad_source(self, capsys):
+        assert cli_main(["perf", "report", "not/a/real/path"]) == 2
+        assert "no such perf source" in capsys.readouterr().err
 
     def test_cli_report_missing_path(self, capsys):
         assert cli_main(["scenario", "report",

@@ -293,3 +293,227 @@ class TestProcess:
         # before "a" rescheduled at t=2.0), so it runs first.
         assert trace == [(1.0, "a"), (1.5, "b"), (2.0, "a"), (3.0, "b"),
                          (3.0, "a"), (4.5, "b")]
+
+
+class TestOrderingUnderLoad:
+    """Ordering guarantees the batching refactor must preserve."""
+
+    def test_same_timestamp_fifo_under_load(self):
+        """Hundreds of events at one timestamp, interleaved with other
+        times: ties always break by schedule order (seq)."""
+        sim = Simulator()
+        fired = []
+        for index in range(300):
+            # schedule out of time order on purpose
+            at = 1.0 if index % 3 else 2.0
+            sim.schedule(at, fired.append, (at, index))
+        sim.run()
+        at_1 = [i for (at, i) in fired if at == 1.0]
+        at_2 = [i for (at, i) in fired if at == 2.0]
+        assert at_1 == sorted(at_1)
+        assert at_2 == sorted(at_2)
+        assert fired == [item for item in fired if item[0] == 1.0] + \
+            [item for item in fired if item[0] == 2.0]
+
+    def test_signal_fire_wakes_waiters_in_wait_order(self):
+        sim = Simulator()
+        signal = Signal(sim)
+        woken = []
+
+        def waiter(name):
+            yield signal
+            woken.append(name)
+
+        for name in ("a", "b", "c", "d"):
+            sim.process(waiter(name), name=name)
+        sim.run()  # all parked on the signal
+        assert woken == []
+        signal.fire("go")
+        sim.run()
+        assert woken == ["a", "b", "c", "d"]
+
+    def test_accounting_reconciles_with_profiler_entries(self):
+        """Dispatch-accounting totals and the profiler watch the same
+        stream: counts match exactly, times within tolerance."""
+        from repro.telemetry import Profiler
+        sim = Simulator()
+        sim.profiler = Profiler().enable()
+        sim.accounting.enable()
+
+        def tick():
+            if sim.now < 0.2:
+                sim.schedule(0.001, tick)
+        sim.schedule(0.0, tick)
+        sim.run()
+        dispatch = sim.profiler.region("sim.event.dispatch")
+        assert dispatch.calls == sim.accounting.dispatched
+        assert dispatch.calls == sim.profiler.entries
+        # whole-callback self-times track the inclusive dispatch time
+        assert sim.accounting.self_seconds >= dispatch.self_time * 0.5
+        stats = sim.accounting.kind_stats()
+        assert sum(stat.count for stat in stats) == dispatch.calls
+
+
+class TestDispatchAccounting:
+    def test_off_by_default_and_records_nothing(self):
+        sim = Simulator()
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        assert not sim.accounting.enabled
+        assert sim.accounting.dispatched == 0
+        assert sim.accounting.kinds == {}
+
+    def test_kind_classification(self):
+        from functools import partial
+        from repro.sim import classify_callback
+
+        class Owner:
+            def method(self):
+                pass
+        owner = Owner()
+        kind = classify_callback(owner.method)
+        assert kind.endswith("Owner.method")
+        assert not kind.startswith("repro.")
+        assert classify_callback(partial(owner.method)) == kind
+
+    def test_per_kind_counts_and_coalescability(self):
+        sim = Simulator()
+        sim.accounting.enable()
+        fired = []
+        for _ in range(5):
+            sim.schedule(1.0, fired.append, "x")  # one shared timestamp
+        sim.schedule(2.0, fired.append, "y")
+        sim.run()
+        acct = sim.accounting
+        assert acct.dispatched == 6
+        # 4 of the 5 t=1.0 events share a timestamp with a predecessor
+        assert acct.coalescable == 4
+        assert acct.coalescable_ratio == pytest.approx(4 / 6)
+        report = acct.report()
+        assert report["dispatched"] == 6
+        assert report["coalescable"] == 4
+        (kind, entry), = report["kinds"].items()
+        assert kind == "list.append"
+        assert entry["count"] == 6
+        assert entry["share"] == pytest.approx(1.0)
+
+    def test_cancel_heavy_workload_counts_churn(self):
+        """Cancelled events popped by the loop are counted, not
+        silently skipped — and that works with accounting off too."""
+        sim = Simulator()
+        fired = []
+        keep = []
+        for index in range(200):
+            event = sim.schedule(1.0 + index * 0.001, fired.append, index)
+            if index % 2:
+                event.cancel()
+            else:
+                keep.append(index)
+        sim.run()
+        assert fired == keep
+        assert sim.accounting.cancelled_popped == 100
+
+    def test_step_and_peek_count_cancelled_churn(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek() == 2.0  # peek discards the cancelled head
+        assert sim.accounting.cancelled_popped == 1
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_nested_step_pumping_subtracts_self_time(self):
+        """A callback that pumps step() is charged only its own time;
+        the inner event keeps its share (no double counting)."""
+        sim = Simulator()
+        sim.accounting.enable()
+
+        def inner():
+            pass
+
+        def outer():
+            sim.schedule(0.0, inner)
+            sim.step()
+        sim.schedule(1.0, outer)
+        sim.run()
+        acct = sim.accounting
+        assert acct.dispatched == 2
+        total = sum(s.self_seconds for s in acct.kind_stats())
+        assert total == pytest.approx(acct.self_seconds)
+        # the nested dispatch ran with the clock already at t=1.0
+        assert acct.late == 0
+
+    def test_nested_pumping_never_dispatches_late(self):
+        """Nested step() pops in time order and only advances the
+        clock, so scheduling lag stays zero — the lag histogram is the
+        tripwire for a future batch dispatcher that would run events
+        at a clock already past their timestamp."""
+        sim = Simulator()
+        sim.accounting.enable()
+
+        def outer():
+            # pump both pending events from inside a callback
+            sim.step()
+            sim.step()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        straggler_done = []
+        sim.schedule(0.5, outer)
+        sim.schedule(3.0, straggler_done.append, True)
+        sim.run()
+        acct = sim.accounting
+        assert acct.late == 0
+        assert acct.lag_max == 0.0
+        assert acct.report()["lag"]["p99_s"] is None
+        assert straggler_done == [True]
+
+    def test_heap_depth_gauges(self):
+        sim = Simulator()
+        sim.accounting.enable()
+        for index in range(10):
+            sim.schedule(float(index), lambda: None)
+        assert sim.heap_depth == 10
+        assert sim.scheduled == 10
+        sim.run()
+        assert sim.heap_depth == 0
+        assert sim.accounting.max_heap_depth == 10
+
+    def test_reset_keeps_enabled_state(self):
+        sim = Simulator()
+        sim.accounting.enable()
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        assert sim.accounting.dispatched == 1
+        sim.accounting.reset()
+        assert sim.accounting.enabled
+        assert sim.accounting.dispatched == 0
+        assert sim.accounting.kinds == {}
+
+    def test_event_repr_names_the_kind(self):
+        sim = Simulator()
+        event = sim.schedule(1.5, sorted, [3, 1])
+        text = repr(event)
+        assert "sorted" in text
+        assert "pending" in text
+        event.cancel()
+        assert "cancelled" in repr(event)
+
+    def test_render_top_lists_hottest_kind_first(self):
+        sim = Simulator()
+        sim.accounting.enable()
+
+        def busy():
+            sum(range(2000))
+
+        def idle():
+            pass
+        for index in range(20):
+            sim.schedule(float(index), busy)
+        sim.schedule(30.0, idle)
+        sim.run()
+        text = sim.accounting.render_top()
+        lines = text.splitlines()
+        assert "event kind" in lines[0]
+        assert "busy" in lines[1]
+        assert "coalescable" in lines[-1]

@@ -467,6 +467,67 @@ class TestSeries:
         assert stats["mean"] == pytest.approx(25.0)
         assert stats["rate"] == pytest.approx(10.0)
 
+    STATS_KEYS = {"points", "recorded", "evicted", "latest", "min",
+                  "max", "mean", "p50", "p90", "rate", "delta"}
+
+    def test_empty_ring_queries_are_well_defined(self):
+        registry, _ticks = self._sampled_registry()
+        registry.gauge("netem.link.queue")
+        series = registry.series("netem.link.queue")
+        assert series.rate() is None
+        assert series.delta() is None
+        assert series.percentile(99) is None
+        stats = series.stats()
+        assert set(stats) == self.STATS_KEYS
+        assert stats["points"] == 0
+        for key in ("latest", "min", "max", "mean", "p50", "p90",
+                    "rate", "delta"):
+            assert stats[key] is None, key
+
+    def test_single_sample_ring_queries(self):
+        registry, ticks = self._sampled_registry()
+        gauge = registry.gauge("netem.link.queue")
+        ticks["now"] = 1.0
+        gauge.set(7.0)
+        registry.sample()
+        series = registry.series("netem.link.queue")
+        # one point: every percentile is that point, rate/delta need two
+        assert series.percentile(0) == 7.0
+        assert series.percentile(50) == 7.0
+        assert series.percentile(100) == 7.0
+        assert series.rate() is None
+        assert series.delta() is None
+        stats = series.stats()
+        assert set(stats) == self.STATS_KEYS
+        assert stats["points"] == 1
+        assert stats["latest"] == stats["min"] == stats["max"] == 7.0
+        assert stats["mean"] == 7.0
+        assert stats["p50"] == stats["p90"] == 7.0
+        assert stats["rate"] is None and stats["delta"] is None
+
+    def test_zero_time_span_rate_is_none(self):
+        registry, ticks = self._sampled_registry()
+        gauge = registry.gauge("netem.link.queue")
+        ticks["now"] = 2.0
+        gauge.set(1.0)
+        registry.sample()
+        gauge.set(3.0)
+        registry.sample()  # same timestamp: two points, zero span
+        series = registry.series("netem.link.queue")
+        assert len(series) == 2
+        assert series.rate() is None
+        assert series.delta() == pytest.approx(2.0)
+        assert series.stats()["rate"] is None
+
+    def test_percentile_validates_p_even_when_empty(self):
+        registry, _ticks = self._sampled_registry()
+        registry.gauge("netem.link.queue")
+        series = registry.series("netem.link.queue")
+        with pytest.raises(MetricError):
+            series.percentile(101)
+        with pytest.raises(MetricError):
+            series.percentile(-1)
+
 
 class TestTelemetryBundle:
     def test_shares_the_sim_clock(self):
