@@ -27,6 +27,183 @@ class HandlerError(ClickError):
     """A handler does not exist or rejected its input."""
 
 
+class Notifier:
+    """Edge-triggered activity signal on a PULL path (Click's
+    empty-note).
+
+    A pull *driver* (``Unqueue``, pull-mode ``ToDevice``…) used to poll
+    its upstream on a fixed timer; with a notifier it can park: the
+    queue that owns the notifier calls :meth:`wake` on its 0→1 push
+    transition and :meth:`sleep` when a pull drains it.  Listeners are
+    plain callables invoked synchronously on the inactive→active edge
+    only — re-waking an already active notifier costs one attribute
+    check, so the push hot path stays flat once a consumer is behind.
+
+    Pass-through pull elements (``Shaper``, pull-path ``Counter``…)
+    don't own a notifier: they *forward* their upstream's (see
+    ``Element.output_notifier``), so a driver always listens to the
+    queue at the head of its pull chain.
+    """
+
+    __slots__ = ("active", "_listeners")
+
+    def __init__(self, active: bool = False):
+        self.active = active
+        self._listeners: List[Callable[[], None]] = []
+
+    def listen(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` for inactive→active edges."""
+        if callback not in self._listeners:
+            self._listeners.append(callback)
+
+    def unlisten(self, callback: Callable[[], None]) -> None:
+        if callback in self._listeners:
+            self._listeners.remove(callback)
+
+    def wake(self) -> None:
+        """Mark active; fire listeners on the edge only."""
+        if self.active:
+            return
+        self.active = True
+        for callback in self._listeners:
+            callback()
+
+    def sleep(self) -> None:
+        """Mark inactive (listeners are not told; they find out by
+        pulling None or by checking :attr:`active`)."""
+        self.active = False
+
+    def __repr__(self) -> str:
+        return "Notifier(%s, %d listener(s))" % (
+            "active" if self.active else "idle", len(self._listeners))
+
+
+class PullActivation:
+    """Sleep/wake scheduling for one pull consumer (``Unqueue``,
+    pull-mode ``ToDevice``/``Discard``).
+
+    Owns the consumer's re-armable :class:`repro.sim.Wakeup` and its
+    subscription to the upstream notifier.  The consumer's drain
+    callback ends by calling :meth:`reschedule` (or the lower-level
+    :meth:`poll`/:meth:`park`/:meth:`wake_at`), which picks the next
+    activation:
+
+    * upstream notifier inactive → **park** (zero events until the
+      queue's 0→1 push transition wakes us),
+    * burst exhausted with more queued → **continuation shot** at the
+      current instant (packet trains; FIFO seq keeps it deterministic),
+    * blocked by a rate limiter → one **exact shot** at its pull hint,
+    * no notifier at all → legacy blind **poll** every ``interval``.
+
+    ``floor`` (optional callable → absolute sim time) is the earliest
+    useful activation — a rated driver returns its next credit instant
+    so wakes never fire before credit accrues.  Wakeups and polls are
+    counted into the always-on ``DispatchAccounting`` so the
+    event-driven win stays attributable.
+    """
+
+    __slots__ = ("element", "fire", "port", "interval", "floor",
+                 "notifier", "wakeup", "sim")
+
+    def __init__(self, element: "Element", fire: Callable[[], None],
+                 port: int = 0, interval: float = 1e-5,
+                 floor: Optional[Callable[[], float]] = None):
+        self.element = element
+        self.fire = fire
+        self.port = port
+        self.interval = interval
+        self.floor = floor
+        self.notifier: Optional[Notifier] = None
+        self.wakeup = None
+        self.sim = None
+
+    # -- lifecycle (initialize/cleanup of the owning element) ---------------
+
+    def start(self) -> None:
+        sim = self.element.router.sim
+        self.sim = sim
+        self.wakeup = sim.wakeup(self.fire)
+        self.notifier = self.element.input_notifier(self.port)
+        if self.notifier is None:
+            self.poll()
+            return
+        self.notifier.listen(self._on_wake)
+        if self.notifier.active:
+            self._on_wake()
+        # else parked: the first push transition wakes us
+
+    def stop(self) -> None:
+        if self.notifier is not None:
+            self.notifier.unlisten(self._on_wake)
+            self.notifier = None
+        if self.wakeup is not None:
+            self.wakeup.disarm()
+            self.wakeup = None
+
+    # -- activation primitives ----------------------------------------------
+
+    def _target(self) -> float:
+        """Earliest useful fire time: now, raised to the floor."""
+        now = self.sim.now
+        if self.floor is not None:
+            floor = self.floor()
+            if floor > now:
+                return floor
+        return now
+
+    def _on_wake(self) -> None:
+        """Upstream went non-empty: schedule a drain (never pull
+        synchronously from inside the producer's push)."""
+        self.sim.accounting.wakeups += 1
+        self.wakeup.arm_before(self._target())
+
+    def wake_at(self, when: float) -> None:
+        """One exact event-driven shot (hint, credit instant,
+        continuation train), clamped to the floor and to now."""
+        floor = self._target()
+        if when < floor:
+            when = floor
+        self.sim.accounting.wakeups += 1
+        self.wakeup.arm_at(when)
+
+    def poll(self) -> None:
+        """Legacy blind re-arm after ``interval`` (no notifier, or no
+        usable hint)."""
+        self.sim.accounting.polls += 1
+        self.wakeup.arm(self.interval)
+
+    def park(self) -> None:
+        self.wakeup.disarm()
+
+    # -- the standard post-drain decision ------------------------------------
+
+    def reschedule(self, exhausted_burst: bool) -> None:
+        notifier = self.notifier
+        if notifier is None:
+            self.poll()
+            return
+        if not notifier.active:
+            self.park()
+            return
+        if exhausted_burst:
+            # more queued than one burst: continuation shot, same
+            # timestamp (a packet train in slices)
+            self.wake_at(self._target())
+            return
+        # upstream active but the pull came back empty: a rate stage is
+        # holding packets back — fire exactly when it says
+        hint = self.element.input_hint(self.port)
+        if hint is not None and hint > self.sim.now:
+            self.wake_at(hint)
+        else:
+            self.poll()
+
+    def __repr__(self) -> str:
+        return "PullActivation(%s[%d], %s)" % (
+            self.element.name, self.port,
+            self.notifier if self.notifier is not None else "no notifier")
+
+
 class Port:
     """One endpoint of an element; wired to peer port(s) by the router.
 
@@ -174,6 +351,75 @@ class Element:
         if packet is not None:
             self.pulled_count += 1
         return packet
+
+    # -- pull-path activation (notifiers, sleep hints, backpressure) --------
+
+    def output_notifier(self, port: int) -> Optional[Notifier]:
+        """The :class:`Notifier` signalling that output ``port`` may
+        have packets to pull.
+
+        ``None`` means "unknown — poll me".  Queues own and return
+        their notifier; one-input pass-through elements (``Counter``,
+        ``Shaper``, ``Tee``…) forward their upstream's by default, so a
+        driver always ends up listening to the queue at the head of its
+        pull chain.
+        """
+        if len(self.inputs) == 1:
+            return self.input_notifier(0)
+        return None
+
+    def input_notifier(self, port: int) -> Optional[Notifier]:
+        """Forwarding helper: the notifier of whatever feeds input
+        ``port``."""
+        inp = self.inputs[port]
+        peer = inp.peer
+        if peer is None:
+            return None
+        return peer.element.output_notifier(peer.index)
+
+    def pull_hint(self, port: int) -> Optional[float]:
+        """Earliest simulated time a pull on output ``port`` can
+        succeed, or ``None`` for "whenever the notifier wakes".
+
+        Rate limiters know this exactly (``Shaper._next_allowed``,
+        token refill instants, ``DelayQueue`` head age-out); a driver
+        blocked on an *active* upstream schedules one shot at the hint
+        instead of polling every tick.  One-input pass-throughs forward
+        upstream's hint by default; constrained elements combine it
+        with their own.
+        """
+        if len(self.inputs) == 1:
+            return self.input_hint(0)
+        return None
+
+    def input_hint(self, port: int) -> Optional[float]:
+        """Forwarding helper: the pull hint of whatever feeds input
+        ``port``."""
+        inp = self.inputs[port]
+        peer = inp.peer
+        if peer is None:
+            return None
+        return peer.element.pull_hint(peer.index)
+
+    def accepts_push(self, port: int) -> bool:
+        """Would a packet pushed into input ``port`` right now be
+        accepted rather than dropped?  Tail-drop queues answer from
+        their fill level; one-output pass-throughs ask downstream;
+        everything else is optimistic.  This is a *hint* for source
+        backpressure, not a guarantee."""
+        if len(self.outputs) == 1:
+            return self.downstream_accepts(0)
+        return True
+
+    def downstream_accepts(self, port: int) -> bool:
+        """Backpressure helper: does output ``port``'s peer currently
+        accept pushes?  Unconnected outputs drop silently, so they
+        "accept" everything."""
+        out = self.outputs[port]
+        peer = out.peer
+        if peer is None:
+            return True
+        return peer.element.accepts_push(peer.index)
 
     # -- handlers ------------------------------------------------------------
 

@@ -10,7 +10,8 @@ and ``ToDevice(eth0)`` transmits frames out of it.
 
 from typing import Callable, Dict, List, Optional
 
-from repro.click.element import AGNOSTIC, PULL, PUSH, Element
+from repro.click.element import (AGNOSTIC, PULL, PUSH, Element,
+                                 PullActivation)
 from repro.click.errors import ConfigError
 from repro.click.packet import ClickPacket
 from repro.click.registry import element_class
@@ -105,22 +106,25 @@ class ToDevice(Element):
     """``ToDevice(DEVNAME)`` — transmit frames out of DEVNAME.
 
     The input is agnostic: pushed frames go out immediately; with a pull
-    upstream (``... -> Queue -> ToDevice``) the element runs a drain task
-    like Click's userlevel ToDevice.  Handlers: ``count`` (read).
+    upstream (``... -> Queue -> ToDevice``) the element sleeps on the
+    upstream notifier and transmits a burst per wakeup, like Click's
+    userlevel ToDevice behind an empty-note.  Handlers: ``count``
+    (read).
     """
 
     INPUT_COUNT = 1
     OUTPUT_COUNT = 0
     INPUT_PERSONALITY = AGNOSTIC
 
-    PULL_INTERVAL = 1e-5
+    PULL_INTERVAL = 1e-5  # fallback poll when upstream has no notifier
+    BURST = 32            # frames transmitted per activation
 
     def __init__(self, name: str, config: str = ""):
         super().__init__(name, config)
         self.devname = ""
         self.count = 0
         self._device: Optional[Device] = None
-        self._task = None
+        self._activation: Optional[PullActivation] = None
         self.add_read_handler("count", lambda: self.count)
         self.add_read_handler("device", lambda: self.devname)
 
@@ -132,13 +136,14 @@ class ToDevice(Element):
     def initialize(self) -> None:
         self._device = _lookup_device(self, self.devname)
         if self.inputs[0].resolved == PULL:
-            self._task = self.router.sim.schedule(self.PULL_INTERVAL,
-                                                  self._drain)
+            self._activation = PullActivation(
+                self, self._drain, interval=self.PULL_INTERVAL)
+            self._activation.start()
 
     def cleanup(self) -> None:
-        if self._task is not None:
-            self._task.cancel()
-            self._task = None
+        if self._activation is not None:
+            self._activation.stop()
+            self._activation = None
 
     def _transmit(self, packet: ClickPacket) -> None:
         self.count += 1
@@ -152,9 +157,11 @@ class ToDevice(Element):
     def _drain(self) -> None:
         if not self.router.running:
             return
-        while True:
+        moved = 0
+        while moved < self.BURST:
             packet = self.input_pull(0)
             if packet is None:
                 break
             self._transmit(packet)
-        self._task = self.router.sim.schedule(self.PULL_INTERVAL, self._drain)
+            moved += 1
+        self._activation.reschedule(moved >= self.BURST)

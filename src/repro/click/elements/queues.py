@@ -3,7 +3,8 @@
 from collections import deque
 from typing import Dict, List, Optional
 
-from repro.click.element import PULL, PUSH, Element
+from repro.click.element import (PULL, PUSH, Element, Notifier,
+                                 PullActivation)
 from repro.click.errors import ConfigError
 from repro.click.packet import ClickPacket
 from repro.click.registry import element_class
@@ -12,6 +13,10 @@ from repro.click.registry import element_class
 @element_class()
 class Queue(Element):
     """``Queue([CAPACITY])`` — the push→pull boundary.  Tail-drop.
+
+    Owns the pull path's :class:`Notifier` (Click's empty-note): the
+    0→1 push transition wakes sleeping pull drivers downstream, and the
+    pull that drains the buffer puts them back to sleep.
 
     Handlers: ``length``, ``capacity``, ``drops``, ``highwater`` (read);
     ``reset`` (write).
@@ -28,6 +33,7 @@ class Queue(Element):
         self.buffer: deque = deque()
         self.drops = 0
         self.highwater = 0
+        self.notifier = Notifier()
         self.add_read_handler("length", lambda: len(self.buffer))
         self.add_read_handler("capacity", lambda: self.capacity)
         self.add_read_handler("drops", lambda: self.drops)
@@ -39,6 +45,7 @@ class Queue(Element):
         self.buffer.clear()
         self.drops = 0
         self.highwater = 0
+        self.notifier.sleep()
 
     def _write_capacity(self, value: str) -> None:
         capacity = int(value)
@@ -54,17 +61,36 @@ class Queue(Element):
             self._write_capacity(args[0])
 
     def push(self, port: int, packet: ClickPacket) -> None:
-        if len(self.buffer) >= self.capacity:
+        buffer = self.buffer
+        if len(buffer) >= self.capacity:
             self.drop(packet)
             return
-        self.buffer.append(packet)
-        self.highwater = max(self.highwater, len(self.buffer))
+        buffer.append(packet)
+        if len(buffer) > self.highwater:
+            self.highwater = len(buffer)
+        if not self.notifier.active:
+            self.notifier.wake()
 
     def drop(self, packet: ClickPacket) -> None:
         self.drops += 1
 
     def pull(self, port: int) -> Optional[ClickPacket]:
-        return self.buffer.popleft() if self.buffer else None
+        buffer = self.buffer
+        if not buffer:
+            return None
+        packet = buffer.popleft()
+        if not buffer:
+            self.notifier.sleep()
+        return packet
+
+    def output_notifier(self, port: int) -> Optional[Notifier]:
+        return self.notifier
+
+    def pull_hint(self, port: int) -> Optional[float]:
+        return None  # no timing constraint: the notifier is the truth
+
+    def accepts_push(self, port: int) -> bool:
+        return len(self.buffer) < self.capacity
 
 
 @element_class()
@@ -72,15 +98,31 @@ class FrontDropQueue(Queue):
     """Queue that evicts the *oldest* packet when full (head-drop)."""
 
     def push(self, port: int, packet: ClickPacket) -> None:
-        if len(self.buffer) >= self.capacity:
-            self.buffer.popleft()
+        buffer = self.buffer
+        if len(buffer) >= self.capacity:
+            buffer.popleft()
             self.drops += 1
-        self.buffer.append(packet)
-        self.highwater = max(self.highwater, len(self.buffer))
+        buffer.append(packet)
+        if len(buffer) > self.highwater:
+            self.highwater = len(buffer)
+        if not self.notifier.active:
+            self.notifier.wake()
+
+    def accepts_push(self, port: int) -> bool:
+        return True  # head-drop is the intended behavior, not a loss
 
 
 class _PullDriver(Element):
-    """Shared machinery: pull upstream on a timer, push downstream."""
+    """Shared machinery: pull upstream, push downstream — event-driven.
+
+    The driver sleeps while its upstream notifier is inactive, wakes on
+    the 0→1 push transition, and drains up to ``burst`` packets per
+    activation; when more remain it arms a same-timestamp continuation
+    (a packet train in burst-sized slices), and when a rate stage
+    blocks the chain it schedules one exact shot at the stage's pull
+    hint.  Upstreams that report no notifier fall back to the legacy
+    ``interval`` poll.
+    """
 
     INPUT_COUNT = 1
     OUTPUT_COUNT = 1
@@ -92,36 +134,46 @@ class _PullDriver(Element):
         self.interval = 1e-5
         self.burst = 1
         self.moved = 0
-        self._task = None
+        self._activation: Optional[PullActivation] = None
         self.add_read_handler("count", lambda: self.moved)
 
     def initialize(self) -> None:
-        self._arm()
+        self._activation = PullActivation(
+            self, self._fire, interval=self.interval, floor=self._floor)
+        self._activation.start()
 
     def cleanup(self) -> None:
-        if self._task is not None:
-            self._task.cancel()
-            self._task = None
+        if self._activation is not None:
+            self._activation.stop()
+            self._activation = None
 
-    def _arm(self) -> None:
-        self._task = self.router.sim.schedule(self.interval, self._fire)
+    def _floor(self) -> float:
+        """Earliest useful activation; rated drivers raise this to the
+        next credit instant."""
+        return 0.0
 
     def _fire(self) -> None:
         if not self.router.running:
             return
-        for _ in range(self.burst):
+        moved = 0
+        burst = self.burst
+        while moved < burst:
             packet = self.input_pull(0)
             if packet is None:
                 break
-            self.moved += 1
+            moved += 1
             self.output_push(0, packet)
-        self._arm()
+        self.moved += moved
+        self._reschedule(moved)
+
+    def _reschedule(self, moved: int) -> None:
+        self._activation.reschedule(moved >= self.burst)
 
 
 @element_class()
 class Unqueue(_PullDriver):
     """``Unqueue([BURST])`` — drain the upstream queue as fast as the
-    scheduler allows, BURST packets per tick."""
+    scheduler allows, BURST packets per activation."""
 
     def configure(self, args: List[str], keywords: Dict[str, str]) -> None:
         positionals, kw = self.parse_keywords(args, ["BURST"])
@@ -140,12 +192,18 @@ class Unqueue(_PullDriver):
 class RatedUnqueue(_PullDriver):
     """``RatedUnqueue(RATE)`` — drain at RATE packets/second.
 
+    Schedules exactly at credit instants (``1/RATE`` apart) instead of
+    blind ticks; parks on an empty upstream and resumes at
+    ``max(now, next_credit)`` on wake, so an idle spell never earns a
+    catch-up burst.
+
     Handlers: ``rate`` (read/write), ``count`` (read).
     """
 
     def __init__(self, name: str, config: str = ""):
         super().__init__(name, config)
         self.rate = 100.0
+        self._next_credit = 0.0
         self.add_read_handler("rate", lambda: self.rate)
         self.add_write_handler("rate", self._write_rate)
 
@@ -165,3 +223,13 @@ class RatedUnqueue(_PullDriver):
             raise ConfigError("%s: too many arguments" % self.name)
         if "RATE" in kw:
             self._write_rate(kw["RATE"])
+
+    def _floor(self) -> float:
+        return self._next_credit
+
+    def _reschedule(self, moved: int) -> None:
+        if moved:
+            now = self.router.sim.now
+            base = self._next_credit if self._next_credit > now else now
+            self._next_credit = base + self.interval
+        super()._reschedule(moved)

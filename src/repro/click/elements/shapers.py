@@ -4,7 +4,7 @@ import random
 from collections import deque
 from typing import Dict, List, Optional
 
-from repro.click.element import PULL, PUSH, Element
+from repro.click.element import PULL, PUSH, Element, Notifier
 from repro.click.errors import ConfigError
 from repro.click.elements.queues import Queue
 from repro.click.packet import ClickPacket
@@ -54,6 +54,15 @@ class Shaper(Element):
         self._next_allowed = max(self._next_allowed, now) + 1.0 / self.rate
         self.count += 1
         return packet
+
+    def pull_hint(self, port: int) -> Optional[float]:
+        """The upstream notifier is forwarded unchanged (default
+        behavior); the hint adds the rate gate — a blocked driver
+        should fire exactly at ``_next_allowed``."""
+        upstream = self.input_hint(0)
+        if upstream is None or upstream < self._next_allowed:
+            return self._next_allowed
+        return upstream
 
 
 @element_class()
@@ -112,6 +121,18 @@ class BandwidthShaper(Element):
         self.byte_count += len(packet)
         return packet
 
+    def pull_hint(self, port: int) -> Optional[float]:
+        """Exact refill instant: the time at which the bucket crosses
+        one byte of credit (``pull`` requires ``_tokens > 0``)."""
+        if self._tokens > 0:
+            mine = self.router.sim.now
+        else:
+            mine = self._last_refill + (1.0 - self._tokens) / self.rate
+        upstream = self.input_hint(0)
+        if upstream is None or upstream < mine:
+            return mine
+        return upstream
+
 
 @element_class()
 class DelayQueue(Element):
@@ -132,6 +153,7 @@ class DelayQueue(Element):
         self.capacity = 1000
         self.drops = 0
         self._buffer: deque = deque()  # (ready_time, packet)
+        self.notifier = Notifier()
         self.add_read_handler("delay", lambda: self.delay)
         self.add_read_handler("length", lambda: len(self._buffer))
         self.add_read_handler("drops", lambda: self.drops)
@@ -156,15 +178,33 @@ class DelayQueue(Element):
             self.drops += 1
             return
         self._buffer.append((self.router.sim.now + self.delay, packet))
+        if not self.notifier.active:
+            self.notifier.wake()
 
     def pull(self, port: int) -> Optional[ClickPacket]:
-        if not self._buffer:
+        buffer = self._buffer
+        if not buffer:
             return None
-        ready_time, packet = self._buffer[0]
+        ready_time, packet = buffer[0]
         if self.router.sim.now < ready_time:
             return None
-        self._buffer.popleft()
+        buffer.popleft()
+        if not buffer:
+            self.notifier.sleep()
         return packet
+
+    def output_notifier(self, port: int) -> Optional[Notifier]:
+        return self.notifier
+
+    def pull_hint(self, port: int) -> Optional[float]:
+        """The head packet's age-out instant (the notifier alone can't
+        tell a blocked driver when the delay expires)."""
+        if not self._buffer:
+            return None
+        return self._buffer[0][0]
+
+    def accepts_push(self, port: int) -> bool:
+        return len(self._buffer) < self.capacity
 
 
 @element_class()

@@ -2,15 +2,16 @@
 
 from typing import Dict, List, Optional
 
-from repro.click.element import AGNOSTIC, PULL, Element
+from repro.click.element import AGNOSTIC, PULL, Element, PullActivation
 from repro.click.packet import ClickPacket
 from repro.click.registry import element_class
 
 
 @element_class()
 class Discard(Element):
-    """Swallow every packet.  Works in push mode directly; in pull mode it
-    runs a task that drains its upstream (like real Click's Discard).
+    """Swallow every packet.  Works in push mode directly; in pull mode
+    it sleeps on the upstream notifier and drains a burst per wakeup
+    (like real Click's Discard behind an empty-note).
 
     Handlers: ``count`` (read), ``reset`` (write).
     """
@@ -19,12 +20,13 @@ class Discard(Element):
     OUTPUT_COUNT = 0
     INPUT_PERSONALITY = AGNOSTIC
 
-    PULL_INTERVAL = 1e-4  # seconds between drain attempts in pull mode
+    PULL_INTERVAL = 1e-4  # fallback poll when upstream has no notifier
+    BURST = 32            # packets swallowed per activation
 
     def __init__(self, name: str, config: str = ""):
         super().__init__(name, config)
         self.count = 0
-        self._task = None
+        self._activation = None
         self.add_read_handler("count", lambda: self.count)
         self.add_write_handler("reset", lambda _value: self._reset())
 
@@ -36,23 +38,26 @@ class Discard(Element):
 
     def initialize(self) -> None:
         if self.inputs[0].resolved == PULL:
-            self._task = self.router.sim.schedule(self.PULL_INTERVAL,
-                                                  self._drain)
+            self._activation = PullActivation(
+                self, self._drain, interval=self.PULL_INTERVAL)
+            self._activation.start()
 
     def cleanup(self) -> None:
-        if self._task is not None:
-            self._task.cancel()
-            self._task = None
+        if self._activation is not None:
+            self._activation.stop()
+            self._activation = None
 
     def _drain(self) -> None:
         if not self.router.running:
             return
-        while True:
+        moved = 0
+        while moved < self.BURST:
             packet = self.input_pull(0)
             if packet is None:
                 break
             self.count += 1
-        self._task = self.router.sim.schedule(self.PULL_INTERVAL, self._drain)
+            moved += 1
+        self._activation.reschedule(moved >= self.BURST)
 
     def push(self, port: int, packet: ClickPacket) -> None:
         self.count += 1

@@ -9,7 +9,14 @@ from repro.click.registry import element_class
 
 
 class _ScheduledSource(Element):
-    """Shared machinery: emit packets on a simulated-time schedule."""
+    """Shared machinery: emit packets on a simulated-time schedule.
+
+    Sources honor downstream backpressure: when the output's push chain
+    reports it would drop (a full tail-drop queue), the emission is
+    *suppressed* — no packet is synthesized just to die on arrival —
+    and the schedule simply tries again next interval.  ``suppressed``
+    (read handler) counts the skipped emissions.
+    """
 
     INPUT_COUNT = 0
     OUTPUT_COUNT = 1
@@ -22,8 +29,10 @@ class _ScheduledSource(Element):
         self.interval = 0.001    # seconds between emissions
         self.active = True
         self.emitted = 0
+        self.suppressed = 0
         self._task = None
         self.add_read_handler("count", lambda: self.emitted)
+        self.add_read_handler("suppressed", lambda: self.suppressed)
         self.add_read_handler("active", lambda: self.active)
         self.add_write_handler("active", self._write_active)
         self.add_write_handler("reset", lambda _value: self._reset())
@@ -36,6 +45,7 @@ class _ScheduledSource(Element):
 
     def _reset(self) -> None:
         self.emitted = 0
+        self.suppressed = 0
 
     def initialize(self) -> None:
         if self.active:
@@ -54,6 +64,12 @@ class _ScheduledSource(Element):
             return
         if self.limit >= 0 and self.emitted >= self.limit:
             self.active = False
+            return
+        if not self.downstream_accepts(0):
+            # downstream queue is full: skip the emission (it would
+            # tail-drop on arrival) and retry on the next tick
+            self.suppressed += 1
+            self._arm()
             return
         packet = self.make_packet()
         self.emitted += 1

@@ -242,6 +242,19 @@ class ESCAPE:
         registry.gauge("sim.events.cancelled_popped",
                        "cancelled events discarded by the loop").set(
             acct.cancelled_popped)
+        registry.gauge("sim.events.wakeups",
+                       "pull-driver activations armed event-driven "
+                       "(notifier edges, hint/credit shots)").set(
+            acct.wakeups)
+        registry.gauge("sim.events.polls",
+                       "pull-driver activations armed as blind "
+                       "interval polls").set(acct.polls)
+        registry.gauge("sim.events.pending",
+                       "not-cancelled events queued (O(1) live "
+                       "counter)").set(self.sim.pending)
+        registry.gauge("sim.heap.compactions",
+                       "dead-entry heap compactions performed").set(
+            self.sim.compactions)
         registry.gauge("sim.heap.max_depth",
                        "peak heap depth seen while accounting was on"
                        ).set(acct.max_heap_depth)

@@ -60,6 +60,23 @@ class FlowTable:
                                                None]] = None):
         self.entries: List[FlowEntry] = []
         self.on_removed = on_removed
+        # bumped on every mutation (add/modify/delete/expiry removal);
+        # the switch keys its microflow cache on this
+        self.version = 0
+        # earliest simulated time any entry *could* expire; expire()
+        # early-exits before this.  Conservative: idle-timeout deadlines
+        # only move later as note_hit refreshes last_used, so a stale
+        # deadline triggers at worst one wasted scan, never a late one.
+        self._next_expiry = float("inf")
+
+    @staticmethod
+    def _expiry_deadline(entry: FlowEntry) -> float:
+        deadline = float("inf")
+        if entry.hard_timeout > 0:
+            deadline = entry.installed_at + entry.hard_timeout
+        if entry.idle_timeout > 0:
+            deadline = min(deadline, entry.last_used + entry.idle_timeout)
+        return deadline
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -74,6 +91,9 @@ class FlowTable:
         self.entries.append(entry)
         # highest priority first; stable for equal priorities
         self.entries.sort(key=lambda flow: -flow.priority)
+        self.version += 1
+        self._next_expiry = min(self._next_expiry,
+                                self._expiry_deadline(entry))
 
     def modify(self, match: Match, actions: List[Action],
                strict: bool = False, priority: int = 0x8000) -> int:
@@ -91,6 +111,8 @@ class FlowTable:
             elif entry.match.is_subset_of(match):
                 entry.actions = list(actions)
                 updated += 1
+        if updated:
+            self.version += 1
         return updated
 
     def delete(self, match: Match, strict: bool = False,
@@ -106,6 +128,8 @@ class FlowTable:
                 dead = entry.match.is_subset_of(match)
             (removed if dead else keep).append(entry)
         self.entries = keep
+        if removed:
+            self.version += 1
         for entry in removed:
             self._notify(entry, FlowRemoved.REASON_DELETE)
         return len(removed)
@@ -127,18 +151,32 @@ class FlowTable:
         return None
 
     def expire(self, now: float) -> int:
-        """Remove timed-out entries, firing on_removed for each."""
+        """Remove timed-out entries, firing on_removed for each.
+
+        Early-exits (no scan) while ``now`` is before the earliest
+        possible deadline — with timeout-free tables this is one float
+        compare per call, which matters because :meth:`lookup` runs it
+        per packet.
+        """
+        if now < self._next_expiry:
+            return 0
         keep: List[FlowEntry] = []
-        expired_count = 0
+        expired: List[tuple] = []
+        next_expiry = float("inf")
         for entry in self.entries:
             reason = entry.expired(now)
             if reason is None:
                 keep.append(entry)
+                next_expiry = min(next_expiry, self._expiry_deadline(entry))
             else:
-                expired_count += 1
-                self._notify(entry, reason)
+                expired.append((entry, reason))
         self.entries = keep
-        return expired_count
+        self._next_expiry = next_expiry
+        if expired:
+            self.version += 1
+        for entry, reason in expired:
+            self._notify(entry, reason)
+        return len(expired)
 
     def stats(self, match: Optional[Match] = None,
               now: float = 0.0) -> List[FlowEntry]:

@@ -81,6 +81,7 @@ class OpenFlowSwitch:
 
     EXPIRY_INTERVAL = 0.5  # seconds between timeout sweeps
     SAMPLE_EVERY = 256  # trace one packet span per this many (0: off)
+    MICROFLOW_CAP = 4096  # cached exact-frame entries before a reset
 
     def __init__(self, sim: Simulator, dpid: int, name: str = "",
                  n_buffers: int = 256, miss_send_len: int = 128):
@@ -103,7 +104,14 @@ class OpenFlowSwitch:
         self.dropped_count = 0
         self.table_hit_count = 0
         self.table_miss_count = 0
+        self.microflow_hit_count = 0
         self._pkt_seq = 0
+        # OVS-style microflow cache: exact (in_port, frame bytes) ->
+        # (entry, rewritten wire bytes, out_ports).  Valid because the
+        # datapath is a pure function of the frame and the flow table;
+        # any table mutation bumps table.version and flushes it.
+        self._microflow: Dict[tuple, tuple] = {}
+        self._microflow_version = self.table.version
 
     # -- ports ----------------------------------------------------------------
 
@@ -175,31 +183,59 @@ class OpenFlowSwitch:
             self._process_packet(in_port, data)
 
     def _process_packet(self, in_port: int, data: bytes) -> None:
-        entry = self.table.lookup(data, in_port, self.sim.now)
+        now = self.sim.now
+        # expire() early-exits on a float compare until something can
+        # actually time out; removals bump table.version which flushes
+        # the microflow cache below.
+        self.table.expire(now)
+        if self._microflow_version != self.table.version:
+            self._microflow.clear()
+            self._microflow_version = self.table.version
+        cached = self._microflow.get((in_port, data))
+        if cached is not None:
+            entry, wire, out_ports = cached
+            self.table_hit_count += 1
+            self.microflow_hit_count += 1
+            entry.note_hit(len(data), now)
+            if wire is None:
+                self.dropped_count += 1
+                return
+            for port_no in out_ports:
+                self._output(port_no, wire, in_port)
+            return
+        entry = self.table.lookup(data, in_port, now)
         if entry is None:
             self.table_miss_count += 1
             self._table_miss(in_port, data)
             return
         self.table_hit_count += 1
-        entry.note_hit(len(data), self.sim.now)
-        self._execute(entry.actions, data, in_port)
+        entry.note_hit(len(data), now)
+        wire, out_ports = self._execute(entry.actions, data, in_port)
+        if len(self._microflow) >= self.MICROFLOW_CAP:
+            self._microflow.clear()
+        self._microflow[(in_port, data)] = (entry, wire, out_ports)
 
-    def _execute(self, actions, data: bytes, in_port: Optional[int]) -> None:
+    def _execute(self, actions, data: bytes, in_port: Optional[int]) -> tuple:
+        """Apply ``actions`` to the frame; returns ``(wire, out_ports)``
+        so table hits can memoize the rewrite (``wire`` is None for a
+        drop)."""
         if not actions:
             self.dropped_count += 1
-            return
+            return None, ()
         try:
             frame = Ethernet.unpack(data)
         except PacketError:
             self.dropped_count += 1
-            return
+            return None, ()
         frame, out_ports = apply_actions(actions, frame)
         if not out_ports:
             self.dropped_count += 1
-            return
+            return None, ()
         wire = frame.pack()
+        out_ports = tuple(out_ports)
         for port_no in out_ports:
             self._output(port_no, wire, in_port)
+        return wire, out_ports
 
     def _output(self, port_no: int, data: bytes,
                 in_port: Optional[int]) -> None:

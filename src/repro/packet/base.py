@@ -1,5 +1,6 @@
 """Shared machinery for packet header classes."""
 
+import struct
 from typing import Optional, Type, Union
 
 
@@ -8,12 +9,15 @@ class PacketError(Exception):
 
 
 def checksum(data: bytes) -> int:
-    """RFC 1071 Internet checksum over ``data``."""
+    """RFC 1071 Internet checksum over ``data``.
+
+    Unpacks the buffer as big-endian 16-bit words in one struct call
+    (C speed) instead of a per-byte Python loop — this runs for every
+    IP/UDP header built on the dataplane hot path.
+    """
     if len(data) % 2:
         data += b"\x00"
-    total = 0
-    for i in range(0, len(data), 2):
-        total += (data[i] << 8) | data[i + 1]
+    total = sum(struct.unpack("!%dH" % (len(data) // 2), data))
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return ~total & 0xFFFF

@@ -14,10 +14,12 @@ The API is intentionally small:
   suspends it for simulated time, ``yield wait_event`` suspends it until
   the event is triggered.
 * :class:`Signal` — a one-shot wakeup primitive processes can wait on.
+* :class:`Wakeup` — a re-armable timer for recurring consumers
+  (event-driven pull drivers sleep/wake through one of these).
 """
 
 from repro.sim.core import (DispatchAccounting, Event, KindStat, Process,
-                            Signal, SimulationError, Simulator,
+                            Signal, SimulationError, Simulator, Wakeup,
                             classify_callback)
 
 __all__ = [
@@ -28,5 +30,6 @@ __all__ = [
     "Signal",
     "SimulationError",
     "Simulator",
+    "Wakeup",
     "classify_callback",
 ]

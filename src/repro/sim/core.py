@@ -17,31 +17,168 @@ class Event:
 
     Events are created through :meth:`Simulator.schedule` and may be
     cancelled with :meth:`Simulator.cancel` (or :meth:`cancel`) any time
-    before they fire.
+    before they fire, or moved with :meth:`reschedule` /
+    :meth:`reschedule_at`.
+
+    The heap stores ``(time, seq, event)`` tuples, so ordering is
+    decided by C-level tuple comparison — the event object itself never
+    participates in heap sift comparisons.  ``time`` on the event is the
+    *target* fire time; ``_key_time`` is the time of the heap entry that
+    currently carries the event.  Rescheduling to a later time only
+    moves ``time`` (the stale entry re-keys itself lazily when it pops);
+    rescheduling earlier pushes a fresh entry under a fresh ``seq`` and
+    the old entry is skipped as stale when it surfaces.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("sim", "time", "seq", "callback", "args",
+                 "cancelled", "fired", "_key_time")
 
-    def __init__(self, time: float, seq: int,
+    def __init__(self, sim: "Simulator", time: float, seq: int,
                  callback: Callable[..., Any], args: tuple):
+        self.sim = sim
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
+        self._key_time = time
 
     def cancel(self) -> None:
         """Mark the event so the loop skips (and counts) it when it
-        pops."""
+        pops.  Idempotent; a no-op once the event has fired."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        sim = self.sim
+        sim._live -= 1
+        sim._note_dead()
+
+    def reschedule(self, delay: float) -> "Event":
+        """Move a pending event to ``now + delay`` without cancel/
+        re-schedule churn (see :meth:`reschedule_at`)."""
+        return self.reschedule_at(self.sim.now + delay)
+
+    def reschedule_at(self, when: float) -> "Event":
+        """Move a pending event to absolute time ``when``.
+
+        Moving *later* is free: only the target time changes, and the
+        existing heap entry lazily re-keys itself when it pops.  Moving
+        *earlier* pushes one fresh heap entry (the old one is skipped as
+        stale when it surfaces).  Raises if the event already fired or
+        was cancelled — a fired event cannot be revived (arm a fresh
+        one; :class:`Wakeup` does exactly that).
+        """
+        if self.fired:
+            raise SimulationError("cannot reschedule fired %r" % self)
+        if self.cancelled:
+            raise SimulationError("cannot reschedule cancelled %r" % self)
+        sim = self.sim
+        if when < sim.now:
+            raise SimulationError(
+                "cannot reschedule to %.9f, %.9fs in the past"
+                % (when, sim.now - when))
+        if when == self.time:
+            return self
+        if when >= self._key_time:
+            # deferred: the queued entry pops at _key_time and re-keys
+            # itself to the new target — no heap operation now
+            self.time = when
+            return self
+        # earlier than the queued entry: re-key under a fresh seq; the
+        # old entry goes stale and is skipped when it pops
+        self.time = when
+        self._key_time = when
+        self.seq = sim._seq
+        sim._seq += 1
+        heapq.heappush(sim._heap, (when, self.seq, self))
+        sim._note_dead()
+        return self
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:
-        state = "cancelled" if self.cancelled else "pending"
+        if self.cancelled:
+            state = "cancelled"
+        elif self.fired:
+            state = "fired"
+        else:
+            state = "pending"
         return "Event(t=%.9f, seq=%d, %s, %s)" % (
             self.time, self.seq, state, classify_callback(self.callback))
+
+
+class Wakeup:
+    """A re-armable timer for recurring consumers.
+
+    One-shot :class:`Signal` does not fit a consumer that sleeps and
+    wakes thousands of times (a pull driver parked on an empty queue):
+    every fire would need a fresh signal plus re-subscription.  A
+    ``Wakeup`` wraps one callback and keeps re-arming cheap:
+
+    * :meth:`arm` / :meth:`arm_at` — schedule the callback; if already
+      armed, the pending event is *rescheduled* (no cancel churn; see
+      :meth:`Event.reschedule_at`).
+    * :meth:`arm_before` — only pull an armed deadline earlier, never
+      push it later (the "wake me no later than" operation a notifier
+      listener wants).
+    * :meth:`disarm` — cancel the pending shot, keep the wakeup.
+
+    The scheduled callback is the consumer's own bound method, so
+    dispatch accounting attributes the work to the consumer, not to
+    this wrapper.
+    """
+
+    __slots__ = ("sim", "callback", "args", "event")
+
+    def __init__(self, sim: "Simulator", callback: Callable[..., Any],
+                 *args: Any):
+        self.sim = sim
+        self.callback = callback
+        self.args = args
+        self.event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        event = self.event
+        return (event is not None and not event.fired
+                and not event.cancelled)
+
+    def arm(self, delay: float) -> Event:
+        """Fire ``delay`` seconds from now (move the shot if armed)."""
+        return self.arm_at(self.sim.now + delay)
+
+    def arm_at(self, when: float) -> Event:
+        """Fire at absolute time ``when`` (move the shot if armed)."""
+        sim = self.sim
+        if when < sim.now:
+            when = sim.now
+        event = self.event
+        if event is not None and not event.fired and not event.cancelled:
+            return event.reschedule_at(when)
+        event = sim.schedule_at(when, self.callback, *self.args)
+        self.event = event
+        return event
+
+    def arm_before(self, when: float) -> Event:
+        """Ensure the wakeup fires no later than ``when`` — arms if
+        idle, pulls an armed shot earlier, never pushes it later."""
+        event = self.event
+        if (event is not None and not event.fired
+                and not event.cancelled and event.time <= when):
+            return event
+        return self.arm_at(when)
+
+    def disarm(self) -> None:
+        event = self.event
+        if event is not None:
+            event.cancel()
+            self.event = None
+
+    def __repr__(self) -> str:
+        state = "armed@%.9f" % self.event.time if self.armed else "idle"
+        return "Wakeup(%s, %s)" % (classify_callback(self.callback), state)
 
 
 def classify_callback(callback: Callable[..., Any]) -> str:
@@ -109,8 +246,13 @@ class DispatchAccounting:
       dispatcher that would run events at a clock already past their
       timestamp.
     * *cancelled churn* — cancelled events the loop popped and threw
-      away (counted even while accounting is disabled: the pops happen
-      regardless and the counter costs nothing on the live path).
+      away, plus dead entries swept by heap compaction (counted even
+      while accounting is disabled: the discards happen regardless and
+      the counter costs nothing on the live path).
+    * *wakeups vs polls* — pull-driver activations split by cause:
+      notifier-driven wakeups and exact rate-credit shots versus blind
+      interval polls (counted always-on by the Click drivers; the
+      event-driven pull path should drive polls to ~zero).
     * *peak heap depth* — the deepest backlog observed while enabled.
 
     Off by default.  The disabled dispatch path pays a single attribute
@@ -131,6 +273,8 @@ class DispatchAccounting:
         self.coalescable = 0
         self._last_time: Optional[float] = None
         self.cancelled_popped = 0
+        self.wakeups = 0
+        self.polls = 0
         self.late = 0
         self.lag_sum = 0.0
         self.lag_max = 0.0
@@ -158,6 +302,8 @@ class DispatchAccounting:
         self.coalescable = 0
         self._last_time = None
         self.cancelled_popped = 0
+        self.wakeups = 0
+        self.polls = 0
         self.late = 0
         self.lag_sum = 0.0
         self.lag_max = 0.0
@@ -199,8 +345,9 @@ class DispatchAccounting:
         self._stack.append(frame)
         return frame
 
-    def finish(self, frame: list) -> None:
-        end = self._clock()
+    def finish(self, frame: list, end: Optional[float] = None) -> None:
+        if end is None:
+            end = self._clock()
         stack = self._stack
         if stack:
             stack.pop()
@@ -259,6 +406,8 @@ class DispatchAccounting:
             "coalescable": self.coalescable,
             "coalescable_ratio": self.coalescable_ratio,
             "cancelled_popped": self.cancelled_popped,
+            "wakeups": self.wakeups,
+            "polls": self.polls,
             "lag": {
                 "late": self.late,
                 "sum_s": self.lag_sum,
@@ -290,10 +439,11 @@ class DispatchAccounting:
                             stat.per_call))
         lines.append(
             "dispatched %d event(s), %.6fs self; coalescable %d "
-            "(%.1f%%), cancelled churn %d, late %d (max lag %.6fs), "
-            "peak heap %d"
+            "(%.1f%%), cancelled churn %d, wakeups %d / polls %d, "
+            "late %d (max lag %.6fs), peak heap %d"
             % (self.dispatched, self.self_seconds, self.coalescable,
                100.0 * self.coalescable_ratio, self.cancelled_popped,
+               self.wakeups, self.polls,
                self.late, self.lag_max, self.max_heap_depth))
         return "\n".join(lines)
 
@@ -412,7 +562,20 @@ class Process:
 
 
 class Simulator:
-    """Deterministic discrete-event loop with a floating-point clock."""
+    """Deterministic discrete-event loop with a floating-point clock.
+
+    The heap holds ``(time, seq, event)`` tuples so sift comparisons
+    stay in C.  Entries can go *dead* without being popped: a cancelled
+    event, or the stale entry left behind by an earlier-bound
+    :meth:`Event.reschedule_at`.  Dead entries are skipped (and
+    counted) when they surface; when they outnumber live entries the
+    heap is compacted in place so a cancel-heavy workload can't bloat
+    the backlog.  A live-entry counter keeps :attr:`pending` O(1) — it
+    is sampled into gauges every 0.25s of sim time by the recurring
+    series sampler, which used to make it an O(n) scan on the hot path.
+    """
+
+    COMPACT_MIN = 64  # never bother compacting tiny heaps
 
     def __init__(self):
         self._heap: list = []
@@ -420,6 +583,9 @@ class Simulator:
         self.now = 0.0
         self._running = False
         self._processed = 0
+        self._live = 0   # not-cancelled events still queued
+        self._dead = 0   # cancelled + stale entries awaiting discard
+        self.compactions = 0
         # optional repro.telemetry Profiler (duck-typed to avoid a
         # sim->telemetry dependency); when set and enabled, every event
         # callback runs inside a "sim.event.dispatch" region — the root
@@ -437,9 +603,12 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError("cannot schedule %.9fs in the past" % delay)
-        event = Event(self.now + delay, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        when = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(self, when, seq, callback, args)
+        heapq.heappush(self._heap, (when, seq, event))
+        self._live += 1
         return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any],
@@ -451,6 +620,10 @@ class Simulator:
         """Cancel a pending event (no-op if it already fired)."""
         event.cancel()
 
+    def wakeup(self, callback: Callable[..., Any], *args: Any) -> Wakeup:
+        """Create a re-armable :class:`Wakeup` around ``callback``."""
+        return Wakeup(self, callback, *args)
+
     def process(self, gen: Generator[Any, Any, Any],
                 name: str = "") -> Process:
         """Wrap a generator into a :class:`Process` and start it."""
@@ -459,6 +632,71 @@ class Simulator:
     def signal(self) -> Signal:
         """Create a fresh :class:`Signal` bound to this simulator."""
         return Signal(self)
+
+    # -- heap hygiene ------------------------------------------------------
+
+    def _note_dead(self) -> None:
+        """One more heap entry went dead (cancel or stale reschedule);
+        compact when the dead outnumber the live."""
+        self._dead += 1
+        if self._dead * 2 > len(self._heap) and \
+                len(self._heap) >= self.COMPACT_MIN:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap in place, dropping dead entries.
+
+        Cancelled events swept here count into the always-on
+        ``cancelled_popped`` churn counter exactly as if the loop had
+        popped them.  Deferred entries (target time moved later) are
+        re-keyed at their target so they stop surfacing early.
+        """
+        heap = self._heap
+        live: list = []
+        swept_cancelled = 0
+        for entry in heap:
+            event = entry[2]
+            if event.cancelled:
+                swept_cancelled += 1
+                continue
+            if event.fired or entry[1] != event.seq:
+                continue  # stale duplicate from an earlier reschedule
+            if event.time > entry[0]:
+                event._key_time = event.time
+                live.append((event.time, entry[1], event))
+            else:
+                live.append(entry)
+        heap[:] = live
+        heapq.heapify(heap)
+        self._dead = 0
+        self.compactions += 1
+        self.accounting.cancelled_popped += swept_cancelled
+
+    def _surface(self) -> Optional[tuple]:
+        """Discard dead heap heads and lazily re-key deferred ones;
+        return the live head entry (still queued) or None."""
+        heap = self._heap
+        acct = self.accounting
+        while heap:
+            entry = heap[0]
+            event = entry[2]
+            if event.cancelled:
+                heapq.heappop(heap)
+                self._dead -= 1
+                acct.cancelled_popped += 1
+                continue
+            if event.fired or entry[1] != event.seq:
+                heapq.heappop(heap)  # stale reschedule leftover
+                self._dead -= 1
+                continue
+            if event.time > entry[0]:
+                # deferred: re-key at the target time, keep the seq
+                heapq.heappop(heap)
+                event._key_time = event.time
+                heapq.heappush(heap, (event.time, event.seq, event))
+                continue
+            return entry
+        return None
 
     # -- running ---------------------------------------------------------
 
@@ -474,39 +712,59 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         executed = 0
+        heap = self._heap
         acct = self.accounting
+        surface = self._surface
+        pop = heapq.heappop
+        # the dispatch region is a per-name singleton on the profiler;
+        # resolve it once per run instead of per event (re-resolved if
+        # a callback swaps self.profiler mid-run)
+        region = None
         try:
-            while self._heap:
+            while heap:
                 if max_events is not None and executed >= max_events:
                     break
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    acct.cancelled_popped += 1
-                    continue
-                if until is not None and event.time > until:
+                entry = surface()
+                if entry is None:
+                    break
+                event = entry[2]
+                if until is not None and entry[0] > until:
                     # nested step() pumping (e.g. a recovery action
                     # blocking on an RPC reply) may already have moved
                     # the clock past the horizon; never rewind it
                     self.now = max(self.now, until)
                     break
-                heapq.heappop(self._heap)
+                pop(heap)
+                event.fired = True
+                self._live -= 1
                 if acct.enabled:
-                    frame = acct.begin(event, self.now,
-                                       len(self._heap) + 1)
-                    self.now = event.time
+                    frame = acct.begin(event, self.now, len(heap) + 1)
+                    self.now = entry[0]
                     profiler = self.profiler
                     if profiler is not None and profiler.enabled:
-                        with profiler.profile("sim.event.dispatch"):
+                        # fused path: accounting already stamped the
+                        # start (frame[1]); share one clock pair
+                        # between the kind stats and the
+                        # sim.event.dispatch region instead of four
+                        # reads per event
+                        pframe = profiler.open_frame(
+                            "sim.event.dispatch", frame[1])
+                        try:
                             event.callback(*event.args)
+                        finally:
+                            end = acct._clock()
+                            profiler.close_frame(pframe, end)
+                            acct.finish(frame, end)
                     else:
                         event.callback(*event.args)
-                    acct.finish(frame)
+                        acct.finish(frame)
                 else:
-                    self.now = event.time
+                    self.now = entry[0]
                     profiler = self.profiler
                     if profiler is not None and profiler.enabled:
-                        with profiler.profile("sim.event.dispatch"):
+                        if region is None or region.profiler is not profiler:
+                            region = profiler.profile("sim.event.dispatch")
+                        with region:
                             event.callback(*event.args)
                     else:
                         event.callback(*event.args)
@@ -514,6 +772,8 @@ class Simulator:
             else:
                 if until is not None and until > self.now:
                     self.now = until
+            if not heap and until is not None and until > self.now:
+                self.now = until
         finally:
             self._running = False
             self._processed += executed
@@ -529,25 +789,33 @@ class Simulator:
         Events pop in time order, so nested pumping never reorders or
         rewinds the clock — it only advances it early.
         """
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-            self.accounting.cancelled_popped += 1
-        if not self._heap:
+        entry = self._surface()
+        if entry is None:
             return False
-        event = heapq.heappop(self._heap)
+        heapq.heappop(self._heap)
+        event = entry[2]
+        event.fired = True
+        self._live -= 1
         acct = self.accounting
         if acct.enabled:
             frame = acct.begin(event, self.now, len(self._heap) + 1)
-            self.now = event.time
+            self.now = entry[0]
             profiler = self.profiler
             if profiler is not None and profiler.enabled:
-                with profiler.profile("sim.event.dispatch"):
+                # same fused clock pair as the run() loop
+                pframe = profiler.open_frame("sim.event.dispatch",
+                                             frame[1])
+                try:
                     event.callback(*event.args)
+                finally:
+                    end = acct._clock()
+                    profiler.close_frame(pframe, end)
+                    acct.finish(frame, end)
             else:
                 event.callback(*event.args)
-            acct.finish(frame)
+                acct.finish(frame)
         else:
-            self.now = event.time
+            self.now = entry[0]
             profiler = self.profiler
             if profiler is not None and profiler.enabled:
                 with profiler.profile("sim.event.dispatch"):
@@ -559,15 +827,14 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None when the heap is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-            self.accounting.cancelled_popped += 1
-        return self._heap[0].time if self._heap else None
+        entry = self._surface()
+        return entry[0] if entry is not None else None
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1) — a
+        live counter, not a heap scan)."""
+        return self._live
 
     @property
     def heap_depth(self) -> int:

@@ -78,36 +78,38 @@ class _Region:
     Frame layout on the profiler stack: ``[name, start, child_seconds,
     path]``.  ``start`` is stamped *after* the enter bookkeeping and
     the exit timestamp is read *before* the exit bookkeeping, so the
-    region's measured span excludes the profiler's own work — which is
-    charged to :attr:`Profiler.overhead` instead.
+    region's measured span excludes the profiler's own work.  Exit
+    bookkeeping is charged to :attr:`Profiler.overhead`; the (smaller)
+    enter bookkeeping leaks into the parent's self time rather than
+    paying a second clock read per entry.
     """
 
-    __slots__ = ("profiler", "name")
+    __slots__ = ("profiler", "name", "_suffix")
 
     def __init__(self, profiler: "Profiler", name: str):
         self.profiler = profiler
         self.name = name
+        self._suffix = ";" + name
 
     def __enter__(self) -> "_Region":
+        # bookkeeping first, *then* stamp: the enter cost leaks into
+        # the parent's self time (sub-microsecond) instead of paying a
+        # second clock read per entry — these run per event on the hot
+        # path, so clock reads are budgeted
         prof = self.profiler
-        clock = prof._clock
-        t_in = clock()
         stack = prof._stack
+        name = self.name
         if stack:
-            path = stack[-1][3] + ";" + self.name
+            frame = [name, 0.0, 0.0, stack[-1][3] + self._suffix]
         else:
-            path = self.name
-        frame = [self.name, 0.0, 0.0, path]
+            frame = [name, 0.0, 0.0, name]
         stack.append(frame)
-        start = clock()
-        prof.overhead += start - t_in
-        frame[1] = start
+        frame[1] = prof._clock()
         return self
 
     def __exit__(self, _exc_type, _exc, _tb) -> bool:
         prof = self.profiler
-        clock = prof._clock
-        end = clock()
+        end = prof._clock()
         stack = prof._stack
         # LIFO discipline is guaranteed by with-nesting; be lenient
         # about a foreign frame on top (a region closed twice).
@@ -117,23 +119,8 @@ class _Region:
                 break
         else:
             return False
-        elapsed = end - frame[1]
-        if elapsed < 0.0:
-            elapsed = 0.0
-        self_time = elapsed - frame[2]
-        if self_time < 0.0:
-            self_time = 0.0
-        stat = prof.stats.get(self.name)
-        if stat is None:
-            stat = prof.stats[self.name] = RegionStat(self.name)
-        stat.calls += 1
-        stat.cum += elapsed
-        stat.self_time += self_time
-        prof._paths[frame[3]] = prof._paths.get(frame[3], 0.0) + self_time
-        if stack:
-            stack[-1][2] += elapsed
-        prof.entries += 1
-        prof.overhead += clock() - end
+        prof._finish_frame(frame, end)
+        prof.overhead += prof._clock() - end
         return False
 
 
@@ -150,6 +137,10 @@ class Profiler:
         self._stack: List[list] = []
         self.stats: Dict[str, RegionStat] = {}
         self._paths: Dict[str, float] = {}
+        # _Region keeps no per-entry state (frames live on _stack), so
+        # one instance per name serves every entry — hot regions skip
+        # an allocation per call
+        self._regions: Dict[str, _Region] = {}
         self.entries = 0          # region entries recorded
         self.overhead = 0.0       # seconds spent on profiler bookkeeping
 
@@ -178,7 +169,63 @@ class Profiler:
         """A region context manager (:data:`NULL_REGION` when off)."""
         if not self.enabled:
             return NULL_REGION
-        return _Region(self, name)
+        region = self._regions.get(name)
+        if region is None:
+            region = self._regions[name] = _Region(self, name)
+        return region
+
+    def open_frame(self, name: str, start: float) -> list:
+        """Push a region frame with a caller-provided start stamp.
+
+        The frame-protocol half of :class:`_Region` for callers that
+        already hold a timestamp (the simulator's fused dispatch path
+        shares one clock pair between dispatch accounting and the
+        ``sim.event.dispatch`` region instead of stamping four).  Must
+        be balanced with :meth:`close_frame`.
+        """
+        stack = self._stack
+        if stack:
+            frame = [name, start, 0.0, stack[-1][3] + ";" + name]
+        else:
+            frame = [name, start, 0.0, name]
+        stack.append(frame)
+        return frame
+
+    def close_frame(self, frame: list, end: float) -> None:
+        """Pop + record a frame opened by :meth:`open_frame` (lenient
+        about foreign frames a callback failed to close)."""
+        stack = self._stack
+        if stack and stack[-1] is frame:
+            stack.pop()
+            self._finish_frame(frame, end)
+            return
+        while stack:
+            if stack.pop() is frame:
+                self._finish_frame(frame, end)
+                return
+
+    def _finish_frame(self, frame: list, end: float) -> None:
+        """Record a popped frame: stat, flame path, parent child-time."""
+        elapsed = end - frame[1]
+        if elapsed < 0.0:
+            elapsed = 0.0
+        self_time = elapsed - frame[2]
+        if self_time < 0.0:
+            self_time = 0.0
+        name = frame[0]
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = self.stats[name] = RegionStat(name)
+        stat.calls += 1
+        stat.cum += elapsed
+        stat.self_time += self_time
+        path = frame[3]
+        paths = self._paths
+        paths[path] = paths.get(path, 0.0) + self_time
+        stack = self._stack
+        if stack:
+            stack[-1][2] += elapsed
+        self.entries += 1
 
     # -- queries -----------------------------------------------------------
 

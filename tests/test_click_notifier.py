@@ -1,0 +1,410 @@
+"""Tests for the event-driven pull path: Click-style notifiers.
+
+PR 7's dispatch accounting measured the timer storm (97%+ of all
+events were ``_PullDriver._fire`` polls); this suite pins the fix —
+queues own an empty-note :class:`Notifier`, pass-through pull elements
+forward it, and pull drivers sleep on empty upstreams instead of
+polling.  The determinism tests are the hard constraint: the same seed
+must produce the same scenario bundle whether or not dispatch
+accounting observes the run.
+"""
+
+import json
+
+import pytest
+
+from repro.click import ClickPacket, Router
+from repro.click.element import Notifier
+from repro.click.elements.device import Device
+from repro.scenario import run_scenario
+from repro.sim import Simulator
+
+
+def packet(data=b"payload"):
+    return ClickPacket(data)
+
+
+def started(config, sim=None):
+    router = Router.from_config(config, sim=sim or Simulator())
+    router.start()
+    return router
+
+
+class TestNotifierPrimitive:
+    def test_edge_triggered_wake(self):
+        notifier = Notifier()
+        fired = []
+        notifier.listen(lambda: fired.append(1))
+        assert not notifier.active
+        notifier.wake()
+        assert notifier.active
+        notifier.wake()  # already active: no second edge
+        assert fired == [1]
+
+    def test_sleep_then_wake_fires_again(self):
+        notifier = Notifier()
+        fired = []
+        notifier.listen(lambda: fired.append(1))
+        notifier.wake()
+        notifier.sleep()
+        assert not notifier.active
+        notifier.wake()
+        assert fired == [1, 1]
+
+    def test_unlisten(self):
+        notifier = Notifier()
+        fired = []
+        callback = lambda: fired.append(1)  # noqa: E731
+        notifier.listen(callback)
+        notifier.unlisten(callback)
+        notifier.wake()
+        assert fired == []
+
+
+class TestQueueTransitions:
+    def test_queue_wakes_on_zero_to_one_push(self):
+        router = Router.from_config(
+            "Idle -> q :: Queue(10); q -> Unqueue -> Discard;")
+        queue = router.element("q")
+        edges = []
+        queue.notifier.listen(lambda: edges.append(len(queue.buffer)))
+        queue.push(0, packet())
+        queue.push(0, packet())  # 1→2: no edge
+        assert edges == [1]
+        assert queue.notifier.active
+
+    def test_queue_sleeps_when_pull_drains(self):
+        router = Router.from_config(
+            "Idle -> q :: Queue(10); q -> Unqueue -> Discard;")
+        queue = router.element("q")
+        queue.push(0, packet())
+        queue.push(0, packet())
+        assert queue.notifier.active
+        queue.pull(0)
+        assert queue.notifier.active  # one left
+        queue.pull(0)
+        assert not queue.notifier.active  # drained → empty-note
+
+    def test_empty_pull_returns_none_keeps_inactive(self):
+        router = Router.from_config(
+            "Idle -> q :: Queue(10); q -> Unqueue -> Discard;")
+        queue = router.element("q")
+        assert queue.pull(0) is None
+        assert not queue.notifier.active
+
+    def test_front_drop_queue_wakes_too(self):
+        router = Router.from_config(
+            "Idle -> q :: FrontDropQueue(2); q -> Unqueue -> Discard;")
+        queue = router.element("q")
+        edges = []
+        queue.notifier.listen(lambda: edges.append(1))
+        for _ in range(4):  # overflows head-drop, stays non-empty
+            queue.push(0, packet())
+        assert edges == [1]
+        assert queue.notifier.active
+
+    def test_queue_full_rejects_push_hint(self):
+        router = Router.from_config(
+            "Idle -> q :: Queue(2); q -> Unqueue -> Discard;")
+        queue = router.element("q")
+        assert queue.accepts_push(0)
+        queue.push(0, packet())
+        queue.push(0, packet())
+        assert not queue.accepts_push(0)
+
+
+class TestNotifierForwarding:
+    def test_shaper_forwards_queue_notifier(self):
+        router = Router.from_config(
+            "Idle -> q :: Queue(10);"
+            " q -> sh :: Shaper(1000) -> u :: Unqueue -> Discard;")
+        queue, shaper, unqueue = (router.element(name)
+                                  for name in ("q", "sh", "u"))
+        assert shaper.output_notifier(0) is queue.notifier
+        assert unqueue.input_notifier(0) is queue.notifier
+
+    def test_bandwidth_shaper_forwards_queue_notifier(self):
+        router = Router.from_config(
+            "Idle -> q :: Queue(10);"
+            " q -> sh :: BandwidthShaper(10000)"
+            " -> u :: Unqueue -> Discard;")
+        queue, unqueue = router.element("q"), router.element("u")
+        assert unqueue.input_notifier(0) is queue.notifier
+
+    def test_counter_forwards_on_pull_path(self):
+        router = Router.from_config(
+            "Idle -> q :: Queue(10);"
+            " q -> c :: Counter -> u :: Unqueue -> Discard;")
+        queue, unqueue = router.element("q"), router.element("u")
+        assert unqueue.input_notifier(0) is queue.notifier
+
+    def test_shaper_hint_is_next_allowed(self):
+        router = started(
+            "Idle -> q :: Queue(10);"
+            " q -> sh :: Shaper(10) -> u :: Unqueue -> Discard;")
+        shaper = router.element("sh")
+        queue = router.element("q")
+        queue.push(0, packet())
+        first = shaper.pull(0)
+        assert first is not None
+        # rate 10/s: the gate reopens exactly 0.1s later
+        hint = shaper.pull_hint(0)
+        assert hint == pytest.approx(router.sim.now + 0.1)
+
+    def test_delay_queue_hint_is_head_ready_time(self):
+        router = started(
+            "Idle -> dq :: DelayQueue(0.25);"
+            " dq -> u :: Unqueue -> Discard;")
+        delay_queue = router.element("dq")
+        assert delay_queue.pull_hint(0) is None  # empty: no constraint
+        delay_queue.push(0, packet())
+        assert delay_queue.notifier.active
+        assert delay_queue.pull_hint(0) == pytest.approx(
+            router.sim.now + 0.25)
+
+
+class TestDriverSleepWake:
+    def test_idle_unqueue_dispatches_no_events(self):
+        """The tentpole: a parked driver costs zero events, not a
+        100kHz poll storm."""
+        sim = Simulator()
+        router = started(
+            "Idle -> q :: Queue(10); q -> Unqueue -> Discard;", sim=sim)
+        before = sim.processed
+        sim.run(until=1.0)
+        assert sim.processed - before == 0
+        router.stop()
+
+    def test_unqueue_wakes_on_push_and_drains(self):
+        sim = Simulator()
+        router = started(
+            "Idle -> q :: Queue(10);"
+            " q -> Unqueue -> c :: Counter -> Discard;", sim=sim)
+        queue = router.element("q")
+        sim.run(until=0.5)
+        for _ in range(3):
+            queue.push(0, packet())
+        sim.run(until=1.0)
+        assert router.read_handler("c.count") == "3"
+        assert not queue.notifier.active  # drained → parked again
+        assert sim.accounting.wakeups > 0
+
+    def test_unqueue_burst_continuation_is_packet_train(self):
+        """More backlog than one burst: the driver re-arms at the same
+        timestamp (continuation shots) instead of one event per tick."""
+        sim = Simulator()
+        router = started(
+            "Idle -> q :: Queue(100);"
+            " q -> Unqueue(BURST 4) -> c :: Counter -> Discard;",
+            sim=sim)
+        queue = router.element("q")
+        sim.run(until=0.25)
+        for _ in range(10):
+            queue.push(0, packet())
+        started_at = sim.now
+        events_before = sim.processed
+        sim.run(until=1.0)
+        assert router.read_handler("c.count") == "10"
+        # ceil(10/4) = 3 activations, all at the push instant
+        assert sim.processed - events_before == 3
+        drained_at = started_at  # continuation shots share the stamp
+        assert sim.now >= drained_at
+
+    def test_rated_unqueue_parks_then_resumes_at_rate(self):
+        sim = Simulator()
+        router = started(
+            "Idle -> q :: Queue(100);"
+            " q -> RatedUnqueue(RATE 100) -> c :: Counter -> Discard;",
+            sim=sim)
+        queue = router.element("q")
+        sim.run(until=0.5)
+        assert sim.processed == 0  # parked, no credit ticks
+        for _ in range(50):
+            queue.push(0, packet())
+        sim.run(until=0.6)
+        # 0.1s at 100/s: the first pull fires on wake, then one per
+        # credit instant
+        count = int(router.read_handler("c.count"))
+        assert 10 <= count <= 12
+        sim.run(until=2.0)
+        assert router.read_handler("c.count") == "50"
+        assert sim.pending == 0  # drained → parked, heap empty
+
+    def test_rated_unqueue_idle_spell_earns_no_catchup_burst(self):
+        sim = Simulator()
+        router = started(
+            "Idle -> q :: Queue(100);"
+            " q -> RatedUnqueue(RATE 10) -> c :: Counter -> Discard;",
+            sim=sim)
+        queue = router.element("q")
+        sim.run(until=1.0)  # a long idle spell accrues no credit
+        for _ in range(10):
+            queue.push(0, packet())
+        sim.run(until=1.35)
+        # wake fires one immediately, then 10/s — not a burst of 10
+        assert int(router.read_handler("c.count")) <= 5
+
+    def test_to_device_sleeps_and_wakes(self):
+        sim = Simulator()
+        router = Router.from_config(
+            "Idle -> q :: Queue(10) -> ToDevice(eth0);", sim=sim)
+        device = Device("eth0")
+        sent = []
+        device.transmit = sent.append
+        router.device_map = {"eth0": device}
+        router.start()
+        sim.run(until=1.0)
+        assert sim.processed == 0  # parked on the empty queue
+        queue = router.element("q")
+        for index in range(3):
+            queue.push(0, packet(b"frame-%d" % index))
+        sim.run(until=2.0)
+        assert sent == [b"frame-0", b"frame-1", b"frame-2"]
+
+    def test_discard_pull_mode_sleeps(self):
+        sim = Simulator()
+        router = started(
+            "Idle -> q :: Queue(10); q -> d :: Discard;", sim=sim)
+        sim.run(until=1.0)
+        assert sim.processed == 0
+        router.element("q").push(0, packet())
+        sim.run(until=2.0)
+        assert router.read_handler("d.count") == "1"
+
+    def test_shaped_chain_uses_exact_hint_shots(self):
+        """A driver blocked by a Shaper fires at the rate gate's hint,
+        not every poll tick: draining 5 packets at 10/s costs events
+        of the order of the packet count, not duration/interval."""
+        sim = Simulator()
+        router = started(
+            "Idle -> q :: Queue(100);"
+            " q -> Shaper(10) -> u :: Unqueue"
+            " -> c :: Counter -> Discard;", sim=sim)
+        queue = router.element("q")
+        for _ in range(5):
+            queue.push(0, packet())
+        events_before = sim.processed
+        sim.run(until=1.0)
+        assert router.read_handler("c.count") == "5"
+        used = sim.processed - events_before
+        assert used <= 15, "hint shots degenerated into polling: %d" % used
+        assert sim.accounting.wakeups > 0
+
+    def test_wakeups_and_polls_counters_always_on(self):
+        sim = Simulator()
+        assert not sim.accounting.enabled
+        router = started(
+            "Idle -> q :: Queue(10); q -> Unqueue -> Discard;", sim=sim)
+        router.element("q").push(0, packet())
+        sim.run(until=0.5)
+        assert sim.accounting.wakeups >= 1
+        report = sim.accounting.report()
+        assert "wakeups" in report and "polls" in report
+
+
+class TestSourceBackpressure:
+    def test_source_suppresses_into_full_queue(self):
+        sim = Simulator()
+        router = started(
+            "src :: RatedSource(RATE 1000)"
+            " -> q :: Queue(5);"
+            " q -> RatedUnqueue(RATE 10) -> Discard;", sim=sim)
+        sim.run(until=1.0)
+        source = router.element("src")
+        queue = router.element("q")
+        assert source.suppressed > 0
+        assert int(router.read_handler("src.suppressed")) == \
+            source.suppressed
+        assert queue.drops == 0  # nothing synthesized just to tail-drop
+
+    def test_source_resumes_after_drain(self):
+        sim = Simulator()
+        router = started(
+            "src :: TimedSource(INTERVAL 0.01, LIMIT 20)"
+            " -> q :: Queue(50);"
+            " q -> Unqueue -> c :: Counter -> Discard;", sim=sim)
+        sim.run(until=1.0)
+        assert router.read_handler("c.count") == "20"
+        assert router.element("src").suppressed == 0
+
+    def test_front_drop_queue_accepts_everything(self):
+        sim = Simulator()
+        router = started(
+            "src :: TimedSource(INTERVAL 0.001, LIMIT 10)"
+            " -> q :: FrontDropQueue(3);"
+            " q -> RatedUnqueue(RATE 1) -> Discard;", sim=sim)
+        sim.run(until=0.5)
+        # head-drop is the element's *intended* behavior: the source
+        # must not suppress into it
+        assert router.element("src").suppressed == 0
+
+
+FATTREE_SMOKE = {
+    "name": "notifier-determinism",
+    "duration": 2.0,
+    "seeds": [7],
+    "topology": {"kind": "fat_tree", "k": 2, "containers_per_pod": 1,
+                 "container_ports": 4},
+    "chains": {"count": 1, "templates": ["shaped"]},
+    "workload": {"subscribers_per_sap": 50, "flows_per_subscriber": 0.05,
+                 "flow_rate_pps": 100, "flow_duration": 0.2,
+                 "max_flows": 6},
+    "sla": {"max_delay": 0.1},
+}
+
+# observer- or host-speed-dependent sections: wall-clock timings, the
+# telemetry snapshot (self-overhead gauges measure the host, and the
+# sim.* dispatch gauges measure the *observer*, which this test
+# toggles).  Everything else in a bundle is driven by the sim clock
+# and the seed alone.
+NONDETERMINISTIC_KEYS = ("wall_seconds", "throughput", "calibration_s",
+                         "dispatch", "profiler", "events", "metrics")
+
+
+def deterministic_view(bundle):
+    view = {key: value for key, value in bundle.items()
+            if key not in NONDETERMINISTIC_KEYS}
+    for key, value in view.items():
+        # the bundle echoes the scenario spec; its observer toggles
+        # (accounting/profile) are the very thing the toggle test
+        # flips, so mask them while keeping the rest of the echo
+        if isinstance(value, dict) and "accounting" in value:
+            view[key] = {k: v for k, v in value.items()
+                         if k not in ("accounting", "profile")}
+    return view
+
+
+class TestDeterminism:
+    def test_same_seed_bundle_byte_identical_with_accounting_toggle(self):
+        """The hard constraint: observing the run (dispatch accounting
+        on/off) must not perturb the simulated schedule — same seed,
+        byte-identical deterministic bundle either way."""
+        with_acct = run_scenario(dict(FATTREE_SMOKE), write=False)[0]
+        without = run_scenario(dict(FATTREE_SMOKE, accounting=False),
+                               write=False)[0]
+        assert "dispatch" in with_acct and "dispatch" not in without
+        assert json.dumps(deterministic_view(with_acct),
+                          sort_keys=True) == \
+            json.dumps(deterministic_view(without), sort_keys=True)
+
+    def test_same_seed_twice_is_byte_identical(self):
+        one = run_scenario(dict(FATTREE_SMOKE), write=False)[0]
+        two = run_scenario(dict(FATTREE_SMOKE), write=False)[0]
+        assert json.dumps(deterministic_view(one), sort_keys=True) == \
+            json.dumps(deterministic_view(two), sort_keys=True)
+
+    def test_pull_driver_no_longer_top_dispatch_kind(self):
+        """ROADMAP item 1's acceptance: the pull-driver poll storm is
+        gone from the fat-tree dispatch table."""
+        bundle = run_scenario(dict(FATTREE_SMOKE), write=False)[0]
+        kinds = bundle["dispatch"]["kinds"]
+        assert kinds
+        top = max(kinds.items(), key=lambda kv: kv[1]["self_s"])[0]
+        assert "_PullDriver" not in top and "_fire" not in top
+        # wakeup-driven fires may still appear as a kind; the *storm*
+        # is what must be gone — its event count stays within a small
+        # multiple of the packets actually moved, not duration/interval
+        storm = kinds.get("click.elements.queues._PullDriver._fire")
+        if storm is not None:
+            moved = bundle["workload"]["packets_received"]
+            assert storm["count"] <= max(50, 4 * moved)

@@ -127,8 +127,9 @@ class TestProfilerCore:
         assert profiler._stack == []
 
     def test_overhead_accounting(self):
-        # every clock read costs one tick: 4 reads per region, and the
-        # measured span must exclude the enter/exit bookkeeping ticks
+        # every clock read costs one tick: 3 reads per region (enter
+        # bookkeeping runs before the start stamp, so it costs no extra
+        # read), and the measured span must exclude the exit bookkeeping
         clock = FakeClock(step=1.0)
         profiler = Profiler(clock=clock).enable()
         with profiler.profile("a.b"):
@@ -136,8 +137,8 @@ class TestProfilerCore:
         stat = profiler.region("a.b")
         # start is read at tick 1, end at tick 2 -> span exactly 1 tick
         assert stat.cum == pytest.approx(1.0)
-        # enter charged 1 tick (t_in->start), exit 1 tick (end->done)
-        assert profiler.overhead == pytest.approx(2.0)
+        # exit bookkeeping charged 1 tick (end->done)
+        assert profiler.overhead == pytest.approx(1.0)
 
     def test_disable_clears_live_stack(self):
         profiler = Profiler().enable()
