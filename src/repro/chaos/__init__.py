@@ -14,7 +14,8 @@ regression-testable property rather than a demo.
 from repro.chaos.engine import ChaosEngine
 from repro.chaos.faults import (FAULT_KINDS, ContainerOutageFault, Fault,
                                 FaultError, LinkDegradeFault,
-                                LinkDownFault, NetconfBlackholeFault,
+                                LinkDownFault, LinkFlapFault,
+                                NetconfBlackholeFault,
                                 NetconfSlownessFault, VnfCrashFault)
 from repro.chaos.scenario import ChaosScenario
 
@@ -27,6 +28,7 @@ __all__ = [
     "FaultError",
     "LinkDegradeFault",
     "LinkDownFault",
+    "LinkFlapFault",
     "NetconfBlackholeFault",
     "NetconfSlownessFault",
     "VnfCrashFault",

@@ -88,6 +88,61 @@ class LinkDownFault(Fault):
         escape.net.find_link(target).set_up(True)
 
 
+class LinkFlapFault(Fault):
+    """Flap a link: repeated down/up cycles, one per ``period``
+    seconds, ``flaps`` times — the pathological carrier bounce that
+    reactive recovery chases and proactive protection rides out.
+
+    Each cycle holds the link down for half a period.  Healing cancels
+    any cycles still pending and leaves the link up.  All cycles ride
+    the simulator clock from one seeded injection, so the flap timeline
+    is deterministic per scenario seed.
+    """
+
+    kind = "link_flap"
+
+    def __init__(self, at: float, target: Optional[str] = None,
+                 duration: Optional[float] = None,
+                 period: float = 0.5, flaps: int = 3):
+        super().__init__(at, target, duration)
+        if period <= 0:
+            raise FaultError("flap period must be positive, got %r"
+                             % period)
+        if flaps < 1:
+            raise FaultError("flaps must be at least 1, got %r" % flaps)
+        self.period = period
+        self.flaps = flaps
+
+    def candidates(self, escape) -> List[str]:
+        return [name for name in _dataplane_links(escape)
+                if escape.net.find_link(name).up]
+
+    def inject(self, escape, target: str) -> Any:
+        link = escape.net.find_link(target)
+        pending = []
+        for cycle in range(self.flaps):
+            down_at = cycle * self.period
+            up_at = down_at + self.period / 2.0
+            if cycle == 0:
+                link.set_up(False)
+            else:
+                pending.append(escape.sim.schedule(down_at, link.set_up,
+                                                   False))
+            pending.append(escape.sim.schedule(up_at, link.set_up, True))
+        return pending
+
+    def heal(self, escape, target: str, state: Any) -> None:
+        for event in state or []:
+            event.cancel()
+        escape.net.find_link(target).set_up(True)
+
+    def describe(self) -> Dict[str, Any]:
+        data = super().describe()
+        data["period"] = self.period
+        data["flaps"] = self.flaps
+        return data
+
+
 class LinkDegradeFault(Fault):
     """Degrade a link's shaping (loss / delay / jitter) in place."""
 
@@ -249,5 +304,5 @@ class NetconfSlownessFault(_MgmtFault):
 
 
 FAULT_KINDS = {cls.kind: cls for cls in (
-    LinkDownFault, LinkDegradeFault, VnfCrashFault,
+    LinkDownFault, LinkFlapFault, LinkDegradeFault, VnfCrashFault,
     ContainerOutageFault, NetconfBlackholeFault, NetconfSlownessFault)}

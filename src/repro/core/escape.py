@@ -57,8 +57,13 @@ class ESCAPE:
                  discovery_interval: float = 1.0,
                  control_network: str = "outband",
                  of_wire: bool = False,
-                 sla_autostart: bool = True):
+                 sla_autostart: bool = True,
+                 protection: bool = False):
         self.net = net
+        # proactive chain protection: precomputed backup paths behind
+        # fast-failover groups (requires exact steering; see
+        # Orchestrator)
+        self.protection = protection
         # chains deployed with NFFG requirements get an SLAMonitor
         # automatically (see deploy_service); opt out per instance
         self.sla_autostart = sla_autostart
@@ -157,7 +162,8 @@ class ESCAPE:
 
     def _finish_init(self, net: Network) -> None:
         self.orchestrator = Orchestrator(net, self.steering, self.catalog,
-                                         self.netconf_clients)
+                                         self.netconf_clients,
+                                         protection=self.protection)
         self.mappers: Dict[str, Mapper] = {
             "greedy": GreedyMapper(self.catalog),
             "shortest-path": ShortestPathMapper(self.catalog),
@@ -167,7 +173,9 @@ class ESCAPE:
         self.service_layer = ServiceLayer(self.orchestrator,
                                           self.mappers["shortest-path"])
         self.recorder = FlightRecorder(net, self.telemetry)
-        self.recovery = RecoveryManager(self.orchestrator, net)
+        self.recovery = RecoveryManager(
+            self.orchestrator, net,
+            protection=self.orchestrator.protection)
         self.recovery.watch_discovery(self.discovery)
         self.chaos_engines: list = []
         self.sla_monitors: Dict[str, SLAMonitor] = {}
@@ -202,6 +210,12 @@ class ESCAPE:
             total("table_miss_count"))
         registry.gauge("openflow.switch.flow_entries").set(
             sum(len(dp.table) for dp in datapaths))
+        registry.gauge("openflow.switch.group_mods").set(
+            total("group_mod_count"))
+        registry.gauge("openflow.switch.group_flips").set(
+            total("group_flip_count"))
+        registry.gauge("openflow.switch.group_entries").set(
+            sum(len(dp.groups) for dp in datapaths))
         link_stats = self.net.link_stats()
         registry.gauge("netem.link.delivered").set(
             link_stats["delivered"])
@@ -448,6 +462,13 @@ class ESCAPE:
                 "repairs": len([action for action
                                 in self.recovery.actions
                                 if action.get("ok")]),
+            },
+            "protection": {
+                "enabled": self.orchestrator.protection,
+                "protected_paths":
+                    len(self.steering.protected_paths()),
+                "flips": sum(switch.datapath.group_flip_count
+                             for switch in self.net.switches()),
             },
         }
 

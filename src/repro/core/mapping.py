@@ -40,6 +40,13 @@ class Mapping:
         self.sg = sg
         self.vnf_placement: Dict[str, str] = {}
         self.link_paths: Dict[tuple, List[str]] = {}
+        # proactive protection (filled by compute_backup_paths):
+        # per-segment maximally link-disjoint alternates plus metadata
+        # about how disjoint they actually are, and optional standby
+        # replica containers for anycast failover
+        self.backup_paths: Dict[tuple, List[str]] = {}
+        self.backup_info: Dict[tuple, dict] = {}
+        self.backup_placement: Dict[str, str] = {}
 
     def total_delay(self, view: ResourceView) -> float:
         return sum(view.path_delay(path)
@@ -57,6 +64,135 @@ class Mapping:
 
     def __repr__(self) -> str:
         return "Mapping(%s: %r)" % (self.sg.name, self.vnf_placement)
+
+
+# weight penalty for reusing a primary edge: large against real link
+# delays (milliseconds), so Dijkstra only shares a primary edge when no
+# alternative exists at all — "maximally disjoint"
+_SHARED_EDGE_PENALTY = 1e6
+
+
+def compute_backup_paths(sg: ServiceGraph, mapping: Mapping,
+                         view: ResourceView) -> Dict[tuple, List[str]]:
+    """Per-segment maximally link-disjoint backup paths.
+
+    For every mapped SG link, find the path between the same substrate
+    endpoints that shares as few primary edges as possible (Dijkstra
+    over delay with a prohibitive penalty on primary edges).  The
+    attachment edges at the segment endpoints are unavoidable for
+    single-homed SAPs/containers and do not count against disjointness.
+
+    Results land on the mapping: ``backup_paths[(src, dst)]`` holds the
+    alternate substrate path and ``backup_info[(src, dst)]`` records
+    ``disjoint`` (no interior primary edge shared) and the
+    ``shared_edges`` list.  Segments with no alternative at all
+    (single-link topologies, hairpins) get no backup — protection is
+    disabled for them, with a warning in the event log.
+
+    Backup bandwidth is *not* reserved: protection is shared, 1:N —
+    the backup only carries traffic after a failure, and a fresh one is
+    re-provisioned afterwards (make-before-break).
+    """
+    import networkx as nx
+    events = current_telemetry().events
+    backups: Dict[tuple, List[str]] = {}
+    for (src, dst), primary in mapping.link_paths.items():
+        key = (src, dst)
+        mapping.backup_paths.pop(key, None)  # recompute = fresh slate
+        if len(primary) < 2 or primary[0] == primary[-1]:
+            # degenerate or hairpin segment: no distinct endpoints to
+            # route an alternate between
+            mapping.backup_info[key] = {"disjoint": False,
+                                        "reason": "hairpin"}
+            continue
+        bandwidth = Mapper._link_bandwidth(sg, src, dst)
+        primary_edges = {frozenset(pair)
+                         for pair in zip(primary, primary[1:])}
+        attachment_edges = {frozenset(primary[:2]),
+                            frozenset(primary[-2:])}
+        usable = []
+        for node1, node2, data in view.graph.edges(data=True):
+            if not view.link_is_up(node1, node2):
+                continue
+            if bandwidth > 0 and data["bandwidth"] is not None and \
+                    data["bandwidth"] - data["bw_used"] \
+                    < bandwidth - 1e-9:
+                continue
+            usable.append((node1, node2))
+        candidate = view.graph.edge_subgraph(usable)
+
+        def weight(node1, node2, data):
+            delay = data["delay"] or 1e-9
+            if frozenset((node1, node2)) in primary_edges:
+                return delay + _SHARED_EDGE_PENALTY
+            return delay
+
+        head, tail = primary[0], primary[-1]
+        try:
+            backup = nx.dijkstra_path(candidate, head, tail,
+                                      weight=weight)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            backup = None
+        if backup is None:
+            mapping.backup_info[key] = {"disjoint": False,
+                                        "reason": "no path"}
+            events.warn("core.mapping", "protection.disabled",
+                        "%s: no backup path %s -> %s" % (sg.name, src,
+                                                         dst),
+                        chain=sg.name, segment="%s->%s" % (src, dst))
+            continue
+        backup_edges = {frozenset(pair)
+                        for pair in zip(backup, backup[1:])}
+        shared = backup_edges & primary_edges
+        interior_shared = shared - attachment_edges
+        if backup_edges <= primary_edges:
+            # the "alternate" is the primary again — single-link
+            # topology, nothing to protect with
+            mapping.backup_info[key] = {"disjoint": False,
+                                        "reason": "no alternative"}
+            events.warn("core.mapping", "protection.disabled",
+                        "%s: no disjoint alternative %s -> %s"
+                        % (sg.name, src, dst),
+                        chain=sg.name, segment="%s->%s" % (src, dst))
+            continue
+        info = {
+            "disjoint": not interior_shared,
+            "shared_edges": sorted(tuple(sorted(edge))
+                                   for edge in interior_shared),
+        }
+        if interior_shared:
+            events.warn(
+                "core.mapping", "protection.degraded",
+                "%s: backup %s -> %s shares %d primary edge(s)"
+                % (sg.name, src, dst, len(interior_shared)),
+                chain=sg.name, segment="%s->%s" % (src, dst),
+                shared=len(interior_shared))
+        mapping.backup_paths[key] = backup
+        mapping.backup_info[key] = info
+        backups[key] = backup
+    return backups
+
+
+def compute_backup_placement(sg: ServiceGraph, mapping: Mapping,
+                             view: ResourceView,
+                             catalog: VNFCatalog) -> Dict[str, str]:
+    """Optional anycast standby: for each placed VNF, the first *other*
+    container that could host a replica right now.  Capacity is checked
+    but not reserved — the standby is a warm target for failover
+    re-provisioning, not a running instance."""
+    for vnf_name, placed in mapping.vnf_placement.items():
+        vnf = sg.vnfs[vnf_name]
+        entry = catalog.get(vnf.vnf_type)
+        cpu = vnf.cpu if vnf.cpu is not None else entry.cpu
+        mem = vnf.mem if vnf.mem is not None else entry.mem
+        ports = len(entry.devices)
+        for container in view.containers():
+            if container == placed:
+                continue
+            if view.container_fits(container, cpu, mem, ports):
+                mapping.backup_placement[vnf_name] = container
+                break
+    return mapping.backup_placement
 
 
 class Mapper:

@@ -16,7 +16,9 @@ Deployment follows the paper's flow exactly:
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.catalog import VNFCatalog
-from repro.core.mapping import Mapper, Mapping, MappingError
+from repro.core.mapping import (Mapper, Mapping, MappingError,
+                                compute_backup_paths,
+                                compute_backup_placement)
 from repro.core.nffg import ResourceView, ServiceGraph
 from repro.netconf import NetconfClient
 from repro.netconf.vnf_yang import VNF_NS
@@ -25,7 +27,7 @@ from repro.netem import Network, VNFContainer
 from repro.netem.node import Host, Switch
 from repro.openflow import Match
 from repro.packet import Ethernet
-from repro.pox.steering import PathHop, TrafficSteering
+from repro.pox.steering import MODE_EXACT, PathHop, TrafficSteering
 from repro.telemetry import current as current_telemetry
 
 
@@ -197,11 +199,21 @@ class Orchestrator:
 
     def __init__(self, net: Network, steering: TrafficSteering,
                  catalog: VNFCatalog,
-                 netconf_clients: Dict[str, NetconfClient]):
+                 netconf_clients: Dict[str, NetconfClient],
+                 protection: bool = False):
         self.net = net
         self.steering = steering
         self.catalog = catalog
         self._clients = netconf_clients
+        # proactive protection: precompute link-disjoint backup paths
+        # at deploy time and install them behind fast-failover groups
+        # (exact-match steering only — the VLAN ablation tags per path)
+        self.protection = protection and steering.mode == MODE_EXACT
+        if protection and not self.protection:
+            current_telemetry().events.warn(
+                "core.orchestrator", "protection.unavailable",
+                "protection requires exact steering; disabled "
+                "(mode=%s)" % steering.mode, mode=steering.mode)
         self.view = build_resource_view(net)
         self.ports = _PortMap(net)
         self.deployed: Dict[str, DeployedChain] = {}
@@ -227,6 +239,9 @@ class Orchestrator:
         self._m_deploy_time = metrics.histogram(
             "core.orchestrator.deploy_time",
             "simulated seconds per successful deploy")
+        self._m_protected_segments = metrics.counter(
+            "core.orchestrator.protected_segments",
+            "chain segments installed with a fast-failover backup")
 
     def netconf_client(self, container_name: str) -> NetconfClient:
         client = self._clients.get(container_name)
@@ -270,6 +285,12 @@ class Orchestrator:
                                  "%s: %s" % (sg.name, exc),
                                  service=sg.name, mapper=mapper.name)
                     raise
+            if self.protection:
+                with tracer.span("orchestrator.protect",
+                                 service=sg.name):
+                    compute_backup_paths(sg, mapping, self.view)
+                    compute_backup_placement(sg, mapping, self.view,
+                                             self.catalog)
             vnfs: Dict[str, DeployedVNF] = {}
             path_ids: List[str] = []
             segment_paths: Dict[tuple, str] = {}
@@ -438,6 +459,21 @@ class Orchestrator:
         self._path_counter += 1
         path_id = "%s/%s->%s/%d" % (sg.name, link.src, link.dst,
                                     self._path_counter)
+        backup = (mapping.backup_paths.get((link.src, link.dst))
+                  if self.protection else None)
+        if backup is not None:
+            backup_hops = self._path_hops(backup, src_hint, dst_hint)
+            groups = self.steering.install_protected_path(
+                path_id, hops, backup_hops, base_match)
+            if groups:
+                self._m_protected_segments.inc()
+            else:
+                self.telemetry.events.warn(
+                    "core.orchestrator", "protection.no_divergence",
+                    "%s: primary and backup never diverge on a shared "
+                    "switch; segment unprotected" % path_id,
+                    service=sg.name, path=path_id)
+            return path_id
         self.steering.install_path(path_id, hops, base_match)
         return path_id
 
@@ -669,6 +705,12 @@ class Orchestrator:
         for link in affected:
             chain.mapping.link_paths[(link.src, link.dst)] = \
                 new_paths[(link.src, link.dst)][0]
+        if self.protection:
+            # re-provision backups against the updated view (the old
+            # ones may traverse the edge that just died) — the chain's
+            # traffic is already on its way, this is make-before-break
+            compute_backup_paths(sg, chain.mapping, self.view)
+        for link in affected:
             new_id = self._install_segment(sg, chain.mapping,
                                            chain.vnfs, link, base_match)
             chain.path_ids.append(new_id)

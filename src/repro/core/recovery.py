@@ -43,7 +43,8 @@ class RecoveryManager:
 
     def __init__(self, orchestrator: Orchestrator, net: Network,
                  reaction_delay: float = 0.05, max_attempts: int = 3,
-                 retry_backoff: float = 0.5, enabled: bool = True):
+                 retry_backoff: float = 0.5, enabled: bool = True,
+                 protection: bool = False):
         self.orchestrator = orchestrator
         self.net = net
         self.sim = net.sim
@@ -51,12 +52,21 @@ class RecoveryManager:
         self.reaction_delay = reaction_delay
         self.max_attempts = max_attempts
         self.retry_backoff = retry_backoff
+        # protection-aware mode: a fast-failover bucket flip in the
+        # dataplane IS the recovery (MTTR = fault to flip); the
+        # control-plane reroute that follows is make-before-break
+        # re-provisioning of fresh backups, recorded without MTTR
+        self.protection = protection
         self.telemetry = current_telemetry()
         # completed repair attempts, oldest first (the recovery ledger:
         # deterministic for a fixed seed, asserted on by chaos tests)
         self.actions: List[dict] = []
         self._inflight: Set[Tuple[str, str]] = set()
         self.chain_state: Dict[str, int] = {}
+        # flip correlation buffers: a flip may land before or after the
+        # scheduled link reaction, whichever order traffic dictates
+        self._recent_flips: Dict[str, float] = {}
+        self._awaiting_flip: Dict[str, float] = {}
         metrics = self.telemetry.metrics
         self._m_repairs = metrics.counter(
             "core.recovery.repairs", "faults repaired")
@@ -65,6 +75,9 @@ class RecoveryManager:
         self._m_failures = metrics.counter(
             "core.recovery.failures",
             "faults abandoned after max_attempts")
+        self._m_flips = metrics.counter(
+            "core.recovery.protection_flips",
+            "outages absorbed by a dataplane fast-failover flip")
         self.telemetry.events.subscribe(self._on_event)
 
     # -- instruments --------------------------------------------------------
@@ -117,6 +130,8 @@ class RecoveryManager:
             if container:
                 self._schedule(("reap", container), self._reap_zombies,
                                container, event.time)
+        elif event.name == "of.group.flip":
+            self._note_flip(event)
 
     def watch_discovery(self, discovery) -> None:
         """Also react to POX-layer LLDP link-timeout detection — the
@@ -199,6 +214,8 @@ class RecoveryManager:
             "services": list(services), "ok": True,
             "attempts": attempt, "mttr": mttr, **extra})
         for service in services:
+            self._awaiting_flip.pop(service, None)
+            self._recent_flips.pop(service, None)
             self._set_chain_state(service, CHAIN_HEALTHY)
         self.telemetry.events.info(
             "core.recovery", "recovery.repaired",
@@ -209,6 +226,71 @@ class RecoveryManager:
     def _abandon(self, key: Tuple[str, str]) -> None:
         """The fault resolved itself (or its target is gone)."""
         self._inflight.discard(key)
+
+    # -- proactive protection ------------------------------------------------
+
+    def _note_flip(self, event: Event) -> None:
+        """A fast-failover group flipped buckets in the dataplane.
+
+        Pure bookkeeping (we run inside the event log's dispatch):
+        attribute the flip to its chain via the steering module's group
+        index, then either close out a fault we were already tracking
+        or buffer the flip for the link reaction that is still on its
+        way.
+        """
+        if not self.protection:
+            return
+        to_bucket = event.tags.get("to_bucket")
+        if to_bucket in (None, "", 0):
+            # back on the primary (re-protection) or no live bucket at
+            # all — neither is a completed failover
+            return
+        path_id = self.orchestrator.steering.path_for_group(
+            event.tags.get("dpid"), event.tags.get("group"))
+        if path_id is None:
+            return
+        service = path_id.split("/", 1)[0]
+        fault_time = self._awaiting_flip.pop(service, None)
+        if fault_time is not None:
+            self._record_flip(service, event.time, fault_time)
+        elif service not in self._recent_flips:
+            self._recent_flips[service] = event.time
+
+    def _record_flip(self, service: str, flip_time: float,
+                     fault_time: float) -> None:
+        mttr = flip_time - fault_time
+        self._mttr("protection.flip").observe(mttr)
+        self._m_flips.inc()
+        self.actions.append({
+            "time": flip_time, "kind": "flip", "target": service,
+            "services": [service], "ok": True, "attempts": 0,
+            "mttr": mttr})
+        self._set_chain_state(service, CHAIN_HEALTHY)
+        self.telemetry.events.info(
+            "core.recovery", "recovery.flipped",
+            "%s re-steered in the dataplane in %.6fs" % (service, mttr),
+            service=service, mttr=mttr)
+
+    def _reprotected(self, key: Tuple[str, str], services: List[str],
+                     attempt: int, **extra) -> None:
+        """Make-before-break re-provisioning finished: the chains kept
+        forwarding on their backups the whole time, so no MTTR is
+        observed — the flip actions already carry it."""
+        self._inflight.discard(key)
+        self._m_repairs.inc()
+        for service in services:
+            self._awaiting_flip.pop(service, None)
+            self._recent_flips.pop(service, None)
+            self._set_chain_state(service, CHAIN_HEALTHY)
+        self.actions.append({
+            "time": self.sim.now, "kind": "reprotect", "target": key[1],
+            "services": list(services), "ok": True, "attempts": attempt,
+            "mttr": None, **extra})
+        self.telemetry.events.info(
+            "core.recovery", "recovery.reprotected",
+            "%s re-provisioned around %s (traffic stayed on backup)"
+            % (", ".join(services) or "-", key[1]),
+            kind=key[0], target=str(key[1]))
 
     # -- repairs ------------------------------------------------------------
 
@@ -310,6 +392,24 @@ class RecoveryManager:
         affected = self.orchestrator.chains_over_edge(node1, node2)
         for service in affected:
             self._set_chain_state(service, CHAIN_RECOVERING)
+        protected: List[str] = []
+        if self.protection and attempt == 1:
+            protected_services = {
+                path_id.split("/", 1)[0] for path_id
+                in self.orchestrator.steering.protected_paths()}
+            for service in affected:
+                if service not in protected_services:
+                    continue
+                protected.append(service)
+                flip_time = self._recent_flips.pop(service, None)
+                if flip_time is not None and flip_time >= fault_time:
+                    # the dataplane already repaired this one; account
+                    # the real fault-to-first-backup-packet MTTR
+                    self._record_flip(service, flip_time, fault_time)
+                else:
+                    # no traffic has probed the group yet — the flip
+                    # (if one comes) closes out against this fault
+                    self._awaiting_flip[service] = fault_time
         self._m_attempts.inc()
         try:
             with self.telemetry.tracer.span("recovery.reroute",
@@ -321,7 +421,15 @@ class RecoveryManager:
             self._retry_or_fail(key, affected, exc, retry_func,
                                 retry_target, fault_time, attempt)
             return
-        self._repaired(key, sorted(set(rerouted) | set(affected)),
+        services = sorted(set(rerouted) | set(affected))
+        if services and set(services) <= set(protected):
+            # every affected chain was riding its backup: this reroute
+            # never ended an outage, it renewed the protection
+            self._reprotected(key, services, attempt,
+                              edge="%s--%s" % (node1, node2),
+                              rerouted=len(rerouted))
+            return
+        self._repaired(key, services,
                        "link.down", fault_time, attempt,
                        edge="%s--%s" % (node1, node2),
                        rerouted=len(rerouted))

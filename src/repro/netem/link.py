@@ -104,6 +104,20 @@ class Link:
         else:
             events.warn("netem.link", "link.down", self.name,
                         link=self.name)
+        # Propagate carrier state into attached OpenFlow datapaths at
+        # the same simulated instant: fast-failover groups watching the
+        # port flip locally, and the switch raises a deterministic
+        # PortStatus toward the controller (no discovery lag).
+        for intf in (self.intf1, self.intf2):
+            node = getattr(intf, "node", None)
+            datapath = getattr(node, "datapath", None)
+            if datapath is None:
+                continue
+            try:
+                port_no = node.port_number(intf)
+            except KeyError:
+                continue
+            datapath.set_port_up(port_no, up)
 
     def flap(self, down_for: float) -> None:
         """Take the link down now and bring it back ``down_for``

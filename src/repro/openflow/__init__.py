@@ -9,17 +9,20 @@ packet-in/packet-out, flow-removed, stats) follow OF 1.0, which is what
 the paper's steering module programs against.
 """
 
-from repro.openflow.actions import (Action, Output, SetDlDst, SetDlSrc,
-                                    SetNwDst, SetNwSrc, SetTpDst, SetTpSrc,
-                                    SetVlan, StripVlan)
+from repro.openflow.actions import (Action, Group, Output, SetDlDst,
+                                    SetDlSrc, SetNwDst, SetNwSrc,
+                                    SetTpDst, SetTpSrc, SetVlan,
+                                    StripVlan)
 from repro.openflow.channel import ChannelError, ControllerChannel
-from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.flowtable import (FlowEntry, FlowTable, GroupEntry,
+                                      GroupError, GroupTable)
 from repro.openflow.match import Match
 from repro.openflow.messages import (BarrierReply, BarrierRequest,
                                      EchoReply, EchoRequest,
                                      FeaturesReply, FeaturesRequest,
                                      FlowMod, FlowRemoved, FlowStatsReply,
-                                     FlowStatsRequest, Hello, Message,
+                                     FlowStatsRequest, GroupBucket,
+                                     GroupMod, Hello, Message,
                                      PacketIn, PacketOut, PortDescription,
                                      PortStatsReply, PortStatsRequest,
                                      PortStatus)
@@ -43,6 +46,12 @@ __all__ = [
     "FlowStatsReply",
     "FlowStatsRequest",
     "FlowTable",
+    "Group",
+    "GroupBucket",
+    "GroupEntry",
+    "GroupError",
+    "GroupMod",
+    "GroupTable",
     "Hello",
     "Match",
     "Message",

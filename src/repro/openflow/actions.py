@@ -27,6 +27,19 @@ class Output(Action):
         self.port = port
 
 
+class Group(Action):
+    """Hand the frame to group ``group_id`` (OF 1.1 OFPAT_GROUP,
+    carried here as an extension to the 1.0 subset).
+
+    The switch resolves the group at execution time — for a
+    FAST_FAILOVER group that means the first bucket whose watched port
+    is live — so this action has no :meth:`apply` of its own.
+    """
+
+    def __init__(self, group_id: int):
+        self.group_id = group_id
+
+
 class SetVlan(Action):
     """Set (pushing if absent) the 802.1Q VLAN id."""
 

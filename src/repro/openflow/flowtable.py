@@ -1,6 +1,7 @@
-"""The OF 1.0 flow table: priority lookup, timeouts, statistics."""
+"""The OF 1.0 flow table: priority lookup, timeouts, statistics —
+plus the group table extension backing fast-failover protection."""
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.openflow.actions import Action
 from repro.openflow.match import Match
@@ -186,3 +187,123 @@ class FlowTable:
             return list(self.entries)
         return [entry for entry in self.entries
                 if entry.match.is_subset_of(match)]
+
+
+# -- groups -------------------------------------------------------------------
+
+
+class GroupError(Exception):
+    """Group table operation failure; ``code`` follows the OF 1.1
+    ofp_group_mod_failed_code values so the switch can reply with a
+    faithful error message."""
+
+    GROUP_EXISTS = 0
+    INVALID_GROUP = 1
+    UNKNOWN_GROUP = 8
+
+    def __init__(self, message: str, code: int = INVALID_GROUP):
+        super().__init__(message)
+        self.code = code
+
+
+class GroupEntry:
+    """One installed group: ordered action buckets.
+
+    Only FAST_FAILOVER groups are executable: :meth:`select` walks the
+    buckets in order and returns the first whose watched port is live.
+    ``current_bucket`` remembers the last selection so the switch can
+    detect a failover flip (and flip-back) without controller help.
+    """
+
+    # mirror of messages.GroupMod.TYPE_FAST_FAILOVER (kept local, as
+    # this module only lazily imports repro.openflow.messages)
+    FAST_FAILOVER = 3
+
+    def __init__(self, group_id: int, group_type: int, buckets: List):
+        self.group_id = group_id
+        self.group_type = group_type
+        self.buckets = list(buckets)
+        self.packet_count = 0
+        self.byte_count = 0
+        self.current_bucket: Optional[int] = None
+
+    def select(self, ports: Dict[int, object]) -> Optional[tuple]:
+        """``(index, bucket)`` of the first live bucket, else None.
+
+        A bucket is live when its watch port is up (WATCH_NONE buckets
+        are always live).  Non-FF groups degrade to their first bucket
+        — the switch refuses to install the other types, so this is
+        only a defensive path.
+        """
+        if self.group_type == self.FAST_FAILOVER:
+            for index, bucket in enumerate(self.buckets):
+                watch = bucket.watch_port
+                if watch == 0xFFFF:  # GroupBucket.WATCH_NONE
+                    return index, bucket
+                port = ports.get(watch)
+                if port is not None and port.up:
+                    return index, bucket
+            return None
+        if self.buckets:
+            return 0, self.buckets[0]
+        return None
+
+    def __repr__(self) -> str:
+        return "GroupEntry(%d, type=%d, %d buckets)" % (
+            self.group_id, self.group_type, len(self.buckets))
+
+
+class GroupTable:
+    """The switch's group table: group_id -> :class:`GroupEntry` with
+    OF 1.1 add/modify/delete semantics.  Mutations must invalidate any
+    memoized group resolution — the owning switch flushes its microflow
+    cache after every call that returns normally."""
+
+    def __init__(self):
+        self.groups: Dict[int, GroupEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __contains__(self, group_id: int) -> bool:
+        return group_id in self.groups
+
+    def get(self, group_id: int) -> Optional[GroupEntry]:
+        return self.groups.get(group_id)
+
+    def add(self, group_id: int, group_type: int,
+            buckets: List) -> GroupEntry:
+        if group_id in self.groups:
+            raise GroupError("group %d already exists" % group_id,
+                             GroupError.GROUP_EXISTS)
+        if group_type != GroupEntry.FAST_FAILOVER:
+            raise GroupError("unsupported group type %d" % group_type,
+                             GroupError.INVALID_GROUP)
+        if not buckets:
+            raise GroupError("group %d needs at least one bucket"
+                             % group_id, GroupError.INVALID_GROUP)
+        entry = GroupEntry(group_id, group_type, buckets)
+        self.groups[group_id] = entry
+        return entry
+
+    def modify(self, group_id: int, group_type: int,
+               buckets: List) -> GroupEntry:
+        entry = self.groups.get(group_id)
+        if entry is None:
+            raise GroupError("no group %d to modify" % group_id,
+                             GroupError.UNKNOWN_GROUP)
+        if group_type != GroupEntry.FAST_FAILOVER:
+            raise GroupError("unsupported group type %d" % group_type,
+                             GroupError.INVALID_GROUP)
+        if not buckets:
+            raise GroupError("group %d needs at least one bucket"
+                             % group_id, GroupError.INVALID_GROUP)
+        entry.group_type = group_type
+        entry.buckets = list(buckets)
+        entry.current_bucket = None
+        return entry
+
+    def delete(self, group_id: int) -> Optional[GroupEntry]:
+        """Remove ``group_id`` (no error when absent, per the spec's
+        DELETE semantics)."""
+        return self.groups.pop(group_id, None)

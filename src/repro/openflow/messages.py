@@ -52,15 +52,23 @@ class FeaturesRequest(Message):
 class PortDescription:
     """One physical port in a FeaturesReply / PortStatus."""
 
+    LINK_DOWN = 1 << 0  # ofp_port_state OFPPS_LINK_DOWN
+
     def __init__(self, port_no: int, name: str, hw_addr: str,
-                 curr_speed: float = 0.0):
+                 curr_speed: float = 0.0, state: int = 0):
         self.port_no = port_no
         self.name = name
         self.hw_addr = hw_addr
         self.curr_speed = curr_speed  # bits/s, 0 = unknown
+        self.state = state
+
+    @property
+    def link_down(self) -> bool:
+        return bool(self.state & self.LINK_DOWN)
 
     def __repr__(self) -> str:
-        return "PortDescription(%d, %s)" % (self.port_no, self.name)
+        return "PortDescription(%d, %s%s)" % (
+            self.port_no, self.name, ", DOWN" if self.link_down else "")
 
 
 class FeaturesReply(Message):
@@ -147,6 +155,68 @@ class FlowMod(Message):
         return "FlowMod(%s, prio=%d, %s, %d actions)" % (
             names.get(self.command, self.command), self.priority,
             self.match, len(self.actions))
+
+
+class GroupBucket:
+    """One action bucket of a group.
+
+    ``watch_port`` makes the bucket conditional on that port's
+    liveness, as OF 1.1 fast-failover buckets are; OFPP_NONE (0xFFFF)
+    means unconditional.
+    """
+
+    WATCH_NONE = 0xFFFF
+
+    def __init__(self, actions: List[Action],
+                 watch_port: int = WATCH_NONE):
+        self.actions = list(actions)
+        self.watch_port = watch_port
+
+    def __eq__(self, other: object) -> bool:
+        return (type(self) is type(other)
+                and self.watch_port == other.watch_port
+                and self.actions == other.actions)
+
+    def __repr__(self) -> str:
+        return "GroupBucket(watch=%#x, %d actions)" % (self.watch_port,
+                                                       len(self.actions))
+
+
+class GroupMod(Message):
+    """Install/modify/delete a group (OF 1.1 OFPT_GROUP_MOD, carried
+    as an extension to the 1.0 subset).
+
+    Only TYPE_FAST_FAILOVER is executed by the switch: ordered
+    buckets, each watching a port, with the first live bucket
+    forwarding the frame.  A liveness flip therefore re-steers
+    entirely in the dataplane — no controller round trip.
+    """
+
+    ADD = 0
+    MODIFY = 1
+    DELETE = 2
+
+    TYPE_ALL = 0
+    TYPE_SELECT = 1
+    TYPE_INDIRECT = 2
+    TYPE_FAST_FAILOVER = 3
+
+    def __init__(self, command: int, group_id: int,
+                 group_type: int = TYPE_FAST_FAILOVER,
+                 buckets: Optional[List[GroupBucket]] = None,
+                 xid: Optional[int] = None):
+        super().__init__(xid)
+        self.command = command
+        self.group_id = group_id
+        self.group_type = group_type
+        self.buckets = list(buckets or [])
+
+    def __repr__(self) -> str:
+        names = {self.ADD: "ADD", self.MODIFY: "MODIFY",
+                 self.DELETE: "DELETE"}
+        return "GroupMod(%s, group=%d, %d buckets)" % (
+            names.get(self.command, self.command), self.group_id,
+            len(self.buckets))
 
 
 class FlowRemoved(Message):
@@ -253,6 +323,7 @@ class ErrorMessage(Message):
     TYPE_BAD_REQUEST = 1
     TYPE_BAD_ACTION = 2
     TYPE_FLOW_MOD_FAILED = 3
+    TYPE_GROUP_MOD_FAILED = 6  # OF 1.1, for the group extension
 
     def __init__(self, error_type: int, code: int = 0,
                  data: bytes = b"", xid: Optional[int] = None):

@@ -2,9 +2,10 @@
 
 from typing import Callable, Dict, List, Optional
 
-from repro.openflow.actions import apply_actions
+from repro.openflow.actions import Group, apply_actions
 from repro.openflow.channel import ControllerChannel
-from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.flowtable import (FlowEntry, FlowTable, GroupError,
+                                      GroupTable)
 from repro.openflow.match import Match
 from repro.openflow import messages as msg
 from repro.packet import Ethernet
@@ -59,7 +60,9 @@ class SwitchPort:
         self.transmit(data)
 
     def description(self) -> msg.PortDescription:
-        return msg.PortDescription(self.port_no, self.name, self.hw_addr)
+        return msg.PortDescription(
+            self.port_no, self.name, self.hw_addr,
+            state=0 if self.up else msg.PortDescription.LINK_DOWN)
 
     def stats(self) -> msg.PortStats:
         return msg.PortStats(self.port_no, self.rx_packets, self.tx_packets,
@@ -90,6 +93,7 @@ class OpenFlowSwitch:
         self.name = name or ("s%d" % dpid)
         self.ports: Dict[int, SwitchPort] = {}
         self.table = FlowTable(on_removed=self._flow_removed)
+        self.groups = GroupTable()
         self.channel: Optional[ControllerChannel] = None
         self.n_buffers = n_buffers
         self.miss_send_len = miss_send_len
@@ -100,6 +104,8 @@ class OpenFlowSwitch:
         # them through a registry collector instead of per-event calls
         self.packet_in_count = 0
         self.flow_mod_count = 0
+        self.group_mod_count = 0
+        self.group_flip_count = 0
         self.forwarded_count = 0
         self.dropped_count = 0
         self.table_hit_count = 0
@@ -132,6 +138,32 @@ class OpenFlowSwitch:
                 msg.PortStatus(msg.PortStatus.REASON_ADD,
                                port.description()))
         return port
+
+    def set_port_up(self, port_no: int, up: bool) -> None:
+        """Flip a port's liveness — the dataplane half of link state.
+
+        netem calls this from ``Link.set_up`` at the same simulated
+        instant the link changes, so fast-failover groups watching the
+        port re-steer locally with no controller round trip.  The
+        controller still hears about it: a PortStatus(REASON_MODIFY)
+        goes up the channel deterministically (no discovery lag).
+        """
+        port = self.ports.get(port_no)
+        if port is None or port.up == up:
+            return
+        port.up = up
+        # memoized rewrites may embed a group resolution through this
+        # port — invalidate them all; steady-state forwarding re-caches
+        self._microflow.clear()
+        events = current_telemetry().events
+        note = events.info if up else events.warn
+        note("openflow.switch", "of.port.up" if up else "of.port.down",
+             "%s port %d (%s)" % (self.name, port_no, port.name),
+             dpid=self.dpid, port=port_no, port_name=port.name)
+        if self.channel is not None and self.channel.connected:
+            self.channel.send_to_controller(
+                msg.PortStatus(msg.PortStatus.REASON_MODIFY,
+                               port.description()))
 
     # -- controller connection ------------------------------------------------
 
@@ -222,6 +254,11 @@ class OpenFlowSwitch:
         if not actions:
             self.dropped_count += 1
             return None, ()
+        if self.groups.groups:
+            # only switches with installed groups pay this scan, and
+            # only on microflow-cache misses — the steady-state hot
+            # path replays the memoized resolution
+            actions = self._resolve_groups(actions)
         try:
             frame = Ethernet.unpack(data)
         except PacketError:
@@ -236,6 +273,49 @@ class OpenFlowSwitch:
         for port_no in out_ports:
             self._output(port_no, wire, in_port)
         return wire, out_ports
+
+    def _resolve_groups(self, actions) -> list:
+        """Expand Group actions into the live bucket's actions.
+
+        FAST_FAILOVER semantics: first bucket whose watched port is up
+        wins; with no live bucket (or an unknown group) the group
+        contributes nothing, so the frame drops unless another action
+        outputs it.  Bucket transitions are the dataplane failover —
+        counted and logged so recovery can attribute the flip.
+        """
+        resolved = []
+        for action in actions:
+            if type(action) is not Group:
+                resolved.append(action)
+                continue
+            entry = self.groups.get(action.group_id)
+            if entry is None:
+                continue
+            selected = entry.select(self.ports)
+            index = selected[0] if selected is not None else None
+            if index != entry.current_bucket:
+                self._note_group_flip(entry, index)
+            if selected is not None:
+                resolved.extend(selected[1].actions)
+        return resolved
+
+    def _note_group_flip(self, entry, index: Optional[int]) -> None:
+        previous = entry.current_bucket
+        entry.current_bucket = index
+        if previous is None and index == 0:
+            return  # first resolution landing on the primary bucket
+        self.group_flip_count += 1
+        telemetry = current_telemetry()
+        telemetry.metrics.counter(
+            "openflow.group.flips",
+            "fast-failover bucket transitions").inc()
+        telemetry.events.warn(
+            "openflow.group", "of.group.flip",
+            "%s group %d bucket %s -> %s" % (self.name, entry.group_id,
+                                             previous, index),
+            dpid=self.dpid, group=entry.group_id,
+            from_bucket=previous if previous is not None else "",
+            to_bucket=index if index is not None else "")
 
     def _output(self, port_no: int, data: bytes,
                 in_port: Optional[int]) -> None:
@@ -295,6 +375,8 @@ class OpenFlowSwitch:
                 n_buffers=self.n_buffers, xid=message.xid))
         elif isinstance(message, msg.FlowMod):
             self._handle_flow_mod(message)
+        elif isinstance(message, msg.GroupMod):
+            self._handle_group_mod(message)
         elif isinstance(message, msg.PacketOut):
             self._handle_packet_out(message)
         elif isinstance(message, msg.BarrierRequest):
@@ -343,6 +425,30 @@ class OpenFlowSwitch:
             if buffered is not None:
                 data, in_port = buffered
                 self._execute(flow_mod.actions, data, in_port)
+
+    def _handle_group_mod(self, group_mod: msg.GroupMod) -> None:
+        self.group_mod_count += 1
+        try:
+            if group_mod.command == msg.GroupMod.ADD:
+                self.groups.add(group_mod.group_id,
+                                group_mod.group_type, group_mod.buckets)
+            elif group_mod.command == msg.GroupMod.MODIFY:
+                self.groups.modify(group_mod.group_id,
+                                   group_mod.group_type,
+                                   group_mod.buckets)
+            elif group_mod.command == msg.GroupMod.DELETE:
+                self.groups.delete(group_mod.group_id)
+            else:
+                raise GroupError("bad group mod command %d"
+                                 % group_mod.command)
+        except GroupError as exc:
+            if self.channel is not None and self.channel.connected:
+                self.channel.send_to_controller(msg.ErrorMessage(
+                    msg.ErrorMessage.TYPE_GROUP_MOD_FAILED, exc.code,
+                    xid=group_mod.xid))
+            return
+        # cached resolutions may reference the touched group
+        self._microflow.clear()
 
     def _handle_packet_out(self, packet_out: msg.PacketOut) -> None:
         if packet_out.buffer_id is not None:

@@ -16,9 +16,10 @@ from typing import List, Optional, Tuple
 
 from repro import telemetry
 from repro.openflow import messages as msg
-from repro.openflow.actions import (Action, Output, SetDlDst, SetDlSrc,
-                                    SetNwDst, SetNwSrc, SetTpDst,
-                                    SetTpSrc, SetVlan, StripVlan)
+from repro.openflow.actions import (Action, Group, Output, SetDlDst,
+                                    SetDlSrc, SetNwDst, SetNwSrc,
+                                    SetTpDst, SetTpSrc, SetVlan,
+                                    StripVlan)
 from repro.openflow.match import Match, NO_VLAN
 from repro.packet import EthAddr, IPAddr
 
@@ -36,6 +37,7 @@ OFPT_FLOW_REMOVED = 11
 OFPT_PORT_STATUS = 12
 OFPT_PACKET_OUT = 13
 OFPT_FLOW_MOD = 14
+OFPT_GROUP_MOD = 15  # OF 1.1 message, carried as an extension
 OFPT_STATS_REQUEST = 16
 OFPT_STATS_REPLY = 17
 OFPT_BARRIER_REQUEST = 18
@@ -65,12 +67,14 @@ OFPAT_SET_NW_SRC = 6
 OFPAT_SET_NW_DST = 7
 OFPAT_SET_TP_SRC = 9
 OFPAT_SET_TP_DST = 10
+OFPAT_GROUP = 22  # OF 1.1 action, carried as an extension
 
 OFPST_FLOW = 1
 OFPST_PORT = 4
 
 NO_BUFFER = 0xFFFFFFFF
 OFPP_NONE_WIRE = 0xFFFF
+OFPP_ANY_WIRE = 0xFFFFFFFF  # OF 1.1 32-bit "no port" (bucket watch)
 
 
 class WireError(Exception):
@@ -194,6 +198,8 @@ def pack_action(action: Action) -> bytes:
         return struct.pack("!HHHxx", OFPAT_SET_TP_SRC, 8, action.port)
     if isinstance(action, SetTpDst):
         return struct.pack("!HHHxx", OFPAT_SET_TP_DST, 8, action.port)
+    if isinstance(action, Group):
+        return struct.pack("!HHI", OFPAT_GROUP, 8, action.group_id)
     raise WireError("cannot serialize action %r" % action)
 
 
@@ -230,6 +236,8 @@ def unpack_actions(data: bytes) -> List[Action]:
             actions.append(SetTpSrc(struct.unpack("!Hxx", body)[0]))
         elif action_type == OFPAT_SET_TP_DST:
             actions.append(SetTpDst(struct.unpack("!Hxx", body)[0]))
+        elif action_type == OFPAT_GROUP:
+            actions.append(Group(struct.unpack("!I", body)[0]))
         else:
             raise WireError("unknown action type %d" % action_type)
         offset += length
@@ -248,14 +256,42 @@ def _port_desc_bytes(desc: msg.PortDescription) -> bytes:
     return struct.pack("!H6s16sIIIIII", desc.port_no,
                        EthAddr(desc.hw_addr).raw,
                        name + b"\x00" * (16 - len(name)),
-                       0, 0, 0, 0, 0, 0)
+                       0, desc.state, 0, 0, 0, 0)
 
 
 def _unpack_port_desc(data: bytes) -> msg.PortDescription:
-    port_no, hw_addr, name = struct.unpack_from("!H6s16s", data)
+    port_no, hw_addr, name, _config, state = struct.unpack_from(
+        "!H6s16sII", data)
     return msg.PortDescription(port_no,
                                name.rstrip(b"\x00").decode(),
-                               str(EthAddr(hw_addr)))
+                               str(EthAddr(hw_addr)), state=state)
+
+
+def _pack_bucket(bucket: msg.GroupBucket) -> bytes:
+    actions = pack_actions(bucket.actions)
+    watch = OFPP_ANY_WIRE if bucket.watch_port == \
+        msg.GroupBucket.WATCH_NONE else bucket.watch_port
+    return struct.pack("!HHII4x", 16 + len(actions), 0, watch,
+                       OFPP_ANY_WIRE) + actions
+
+
+def _unpack_buckets(data: bytes) -> List[msg.GroupBucket]:
+    buckets: List[msg.GroupBucket] = []
+    offset = 0
+    while offset < len(data):
+        if len(data) - offset < 16:
+            raise WireError("truncated group bucket")
+        length, _weight, watch, _watch_group = struct.unpack_from(
+            "!HHII", data, offset)
+        if length < 16 or offset + length > len(data):
+            raise WireError("bad bucket length %d" % length)
+        actions = unpack_actions(data[offset + 16: offset + length])
+        buckets.append(msg.GroupBucket(
+            actions,
+            watch_port=msg.GroupBucket.WATCH_NONE
+            if watch == OFPP_ANY_WIRE else watch))
+        offset += length
+    return buckets
 
 
 def pack_message(message: msg.Message) -> bytes:
@@ -315,6 +351,12 @@ def _pack_message(message: msg.Message) -> bytes:
                             OFPP_NONE_WIRE, message.flags)
         return _header(OFPT_FLOW_MOD, xid, len(body) + len(actions)) \
             + body + actions
+    if isinstance(message, msg.GroupMod):
+        body = struct.pack("!HBxI", message.command, message.group_type,
+                           message.group_id)
+        body += b"".join(_pack_bucket(bucket)
+                         for bucket in message.buckets)
+        return _header(OFPT_GROUP_MOD, xid, len(body)) + body
     if isinstance(message, msg.FlowRemoved):
         duration_sec = int(message.duration)
         duration_nsec = int((message.duration - duration_sec) * 1e9)
@@ -436,6 +478,13 @@ def _unpack_message(data: bytes) -> msg.Message:
                            cookie, flags,
                            None if buffer_id == NO_BUFFER else buffer_id,
                            xid=xid)
+    if msg_type == OFPT_GROUP_MOD:
+        if len(body) < 8:
+            raise WireError("group mod body requires 8 bytes, got %d"
+                            % len(body))
+        command, group_type, group_id = struct.unpack_from("!HBxI", body)
+        return msg.GroupMod(command, group_id, group_type,
+                            _unpack_buckets(body[8:]), xid=xid)
     if msg_type == OFPT_FLOW_REMOVED:
         match = unpack_match(body[:40])
         (cookie, priority, reason, duration_sec, duration_nsec,

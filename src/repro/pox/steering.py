@@ -15,7 +15,8 @@ benchmarks compare):
 import copy
 from typing import Dict, List, Optional
 
-from repro.openflow import (FlowMod, Match, Output, SetVlan, StripVlan)
+from repro.openflow import (FlowMod, Group, GroupBucket, GroupMod, Match,
+                            Output, SetVlan, StripVlan)
 from repro.pox.nexus import OpenFlowNexus
 from repro.telemetry import current as current_telemetry
 
@@ -56,11 +57,15 @@ def _clone_match(match: Match, **overrides) -> Match:
 
 class _InstalledPath:
     def __init__(self, path_id: str, hops: List[PathHop],
-                 flow_mods: List[tuple], vlan: Optional[int]):
+                 flow_mods: List[tuple], vlan: Optional[int],
+                 group_mods: Optional[List[tuple]] = None,
+                 backup_hops: Optional[List[PathHop]] = None):
         self.path_id = path_id
         self.hops = hops
         self.flow_mods = flow_mods  # (dpid, FlowMod) pairs, for removal
         self.vlan = vlan
+        self.group_mods = group_mods or []  # (dpid, GroupMod) pairs
+        self.backup_hops = backup_hops or []
 
 
 class TrafficSteering:
@@ -89,11 +94,19 @@ class TrafficSteering:
         # benchmarks assert exact values on these plain ints; the
         # registry counters below mirror them for unified snapshots
         self.flow_mods_sent = 0
+        self.group_mods_sent = 0
         self.restorations = 0
+        # protection bookkeeping: fast-failover groups installed for a
+        # path, and the reverse index a flip event resolves through
+        self._next_group_id = 1
+        self._group_index: Dict[tuple, str] = {}  # (dpid, gid) -> path
         self.telemetry = current_telemetry()
         metrics = self.telemetry.metrics
         self._m_flow_mods = metrics.counter(
             "pox.steering.flow_mods", "flow-mods sent by traffic steering")
+        self._m_group_mods = metrics.counter(
+            "pox.steering.group_mods",
+            "group-mods sent for fast-failover protection")
         self._m_restorations = metrics.counter(
             "pox.steering.restorations",
             "self-healing re-installs after FlowRemoved")
@@ -104,6 +117,8 @@ class TrafficSteering:
             from repro.pox.events import FlowRemovedEvent
             nexus.add_listener(FlowRemovedEvent,
                                self._handle_flow_removed)
+        from repro.pox.events import PortStatusEvent
+        nexus.add_listener(PortStatusEvent, self._handle_port_status)
 
     def _handle_flow_removed(self, event) -> None:
         if not self.restore:
@@ -129,6 +144,31 @@ class TrafficSteering:
                     % (installed.path_id, dpid),
                     path=installed.path_id, dpid=dpid)
                 return
+
+    def _handle_port_status(self, event) -> None:
+        """Deterministic PortStatus intake: correlate the port change
+        with the installed paths crossing it and log a structured
+        entry naming the affected chains — the trace the operator (and
+        the recovery manager) pivots from."""
+        desc = event.ofp.desc
+        affected = sorted(
+            path_id for path_id, installed in self.paths.items()
+            if any(hop.dpid == event.dpid
+                   and desc.port_no in (hop.in_port, hop.out_port)
+                   for hop in installed.hops + installed.backup_hops))
+        if not affected:
+            return
+        note = (self.telemetry.events.warn if desc.link_down
+                else self.telemetry.events.info)
+        note("pox.steering",
+             "steering.port_down" if desc.link_down
+             else "steering.port_up",
+             "dpid=%d port %d (%s): %d path(s) cross it"
+             % (event.dpid, desc.port_no, desc.name, len(affected)),
+             dpid=event.dpid, port=desc.port_no,
+             paths=",".join(affected),
+             chains=",".join(sorted({path_id.split("/", 1)[0]
+                                     for path_id in affected})))
 
     # -- path installation -------------------------------------------------
 
@@ -169,6 +209,118 @@ class TrafficSteering:
             "%s: %d hops, %d flow-mods" % (path_id, len(hops),
                                            len(flow_mods)),
             path=path_id, mode=self.mode)
+
+    def install_protected_path(self, path_id: str, hops: List[PathHop],
+                               backup_hops: List[PathHop],
+                               match: Match) -> int:
+        """Install a primary path plus its precomputed backup.
+
+        Where the two paths diverge (same switch, same in-port,
+        different out-port — the head end, for a link-disjoint backup)
+        the primary entry forwards through a FAST_FAILOVER group whose
+        first bucket watches the primary out-port and whose second
+        points down the backup.  The backup's remaining entries are
+        pre-installed, so when the watched port dies the very next
+        frame already rides the alternate — repair happens in the
+        dataplane, without a controller round trip.
+
+        Returns the number of failover groups installed (0 means the
+        paths never diverge on a shared switch and the path is
+        effectively unprotected).  Exact-match steering only: the
+        VLAN ablation re-tags per path and cannot share core entries
+        between primary and backup.
+        """
+        if self.mode != MODE_EXACT:
+            raise SteeringError("protected paths require exact steering")
+        if path_id in self.paths:
+            raise SteeringError("path %r already installed" % path_id)
+        if not hops or not backup_hops:
+            raise SteeringError("path %r needs primary and backup hops"
+                                % path_id)
+        for hop in list(hops) + list(backup_hops):
+            if hop.dpid not in self.nexus.connections:
+                raise SteeringError("switch dpid=%d not connected"
+                                    % hop.dpid)
+        backup_by_dpid = {hop.dpid: hop for hop in backup_hops}
+        flow_mods: List[tuple] = []
+        group_mods: List[tuple] = []
+        diverging: set = set()  # (dpid, in_port) steered by a group
+        for hop in hops:
+            backup = backup_by_dpid.get(hop.dpid)
+            hop_match = _clone_match(match, in_port=hop.in_port)
+            if backup is not None and backup.in_port == hop.in_port \
+                    and backup.out_port != hop.out_port:
+                group_id = self._next_group_id
+                self._next_group_id += 1
+                group_mods.append((hop.dpid, GroupMod(
+                    GroupMod.ADD, group_id,
+                    buckets=[
+                        GroupBucket([Output(hop.out_port)],
+                                    watch_port=hop.out_port),
+                        GroupBucket([Output(backup.out_port)],
+                                    watch_port=backup.out_port),
+                    ])))
+                self._group_index[(hop.dpid, group_id)] = path_id
+                diverging.add((hop.dpid, hop.in_port))
+                actions = [Group(group_id)]
+            else:
+                actions = [Output(hop.out_port)]
+            flow_mods.append((hop.dpid, FlowMod(
+                hop_match, actions, priority=self.priority,
+                idle_timeout=self.idle_timeout,
+                hard_timeout=self.hard_timeout, flags=self._flags)))
+        primary_inputs = {(hop.dpid, hop.in_port) for hop in hops}
+        for hop in backup_hops:
+            key = (hop.dpid, hop.in_port)
+            if key in diverging:
+                continue  # the failover group already steers here
+            # a backup hop entering a switch on the same port as the
+            # primary (e.g. shared attachment edges on a maximally-
+            # disjoint backup) sits one priority below, so the primary
+            # entry wins while it exists
+            priority = (self.priority - 1 if key in primary_inputs
+                        else self.priority)
+            flow_mods.append((hop.dpid, FlowMod(
+                _clone_match(match, in_port=hop.in_port),
+                [Output(hop.out_port)], priority=priority,
+                idle_timeout=self.idle_timeout,
+                hard_timeout=self.hard_timeout, flags=self._flags)))
+        tracer = self.telemetry.tracer
+        with self.telemetry.profiler.profile("pox.steering.install"), \
+                tracer.span("steering.install_protected_path",
+                            path=path_id, hops=len(hops),
+                            backup_hops=len(backup_hops),
+                            groups=len(group_mods)):
+            # groups first: the flow entries reference them
+            for dpid, group_mod in group_mods:
+                with tracer.span("openflow.group_mod", dpid=dpid):
+                    self.nexus.send(dpid, group_mod)
+                self.group_mods_sent += 1
+                self._m_group_mods.inc()
+            for dpid, flow_mod in flow_mods:
+                with tracer.span("openflow.flow_mod", dpid=dpid):
+                    self.nexus.send(dpid, flow_mod)
+                self.flow_mods_sent += 1
+                self._m_flow_mods.inc()
+        self.paths[path_id] = _InstalledPath(
+            path_id, list(hops), flow_mods, None,
+            group_mods=group_mods, backup_hops=list(backup_hops))
+        self.telemetry.events.debug(
+            "pox.steering", "steering.path_installed",
+            "%s: %d+%d hops, %d flow-mods, %d failover group(s)"
+            % (path_id, len(hops), len(backup_hops), len(flow_mods),
+               len(group_mods)),
+            path=path_id, mode=self.mode, groups=len(group_mods))
+        return len(group_mods)
+
+    def path_for_group(self, dpid: int, group_id: int) -> Optional[str]:
+        """The installed path a failover group belongs to (flip-event
+        attribution), or None."""
+        return self._group_index.get((dpid, group_id))
+
+    def protected_paths(self) -> List[str]:
+        """Path ids with at least one failover group installed."""
+        return sorted(set(self._group_index.values()))
 
     @property
     def _flags(self) -> int:
@@ -233,6 +385,14 @@ class TrafficSteering:
                 priority=flow_mod.priority))
             self.flow_mods_sent += 1
             self._m_flow_mods.inc()
+        for dpid, group_mod in installed.group_mods:
+            self._group_index.pop((dpid, group_mod.group_id), None)
+            if dpid not in self.nexus.connections:
+                continue
+            self.nexus.send(dpid, GroupMod(GroupMod.DELETE,
+                                           group_mod.group_id))
+            self.group_mods_sent += 1
+            self._m_group_mods.inc()
         if installed.vlan is not None:
             self._vlans_in_use.discard(installed.vlan)
         self.telemetry.events.debug("pox.steering",

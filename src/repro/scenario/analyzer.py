@@ -4,8 +4,9 @@
 under the given paths, groups them by scenario, and renders one table
 per scenario — a row per seed plus a mean row — over the headline
 columns: delivered pps (simulated and wall-clock), p50/p99 one-way
-delay, loss ratio, SLA violation ratio, average MTTR, unrecovered
-chain count, and (for schema-2 bundles) dispatched-event count and
+delay, loss ratio, SLA violation ratio, average and median MTTR,
+dataplane fast-failover flips (schema-3 bundles), unrecovered chain
+count, and (for schema-2+ bundles) dispatched-event count and
 same-timestamp coalescability ratio.  :func:`report_dict` exposes the
 same aggregation as JSON for dashboards and trajectory tracking, and
 :func:`render_csv` flattens the per-seed rows to CSV for external
@@ -67,6 +68,7 @@ def _row(bundle: Dict[str, Any]) -> Dict[str, Any]:
     sla = bundle.get("sla", {})
     throughput = bundle.get("throughput", {})
     dispatch = bundle.get("dispatch") or {}
+    protection = bundle.get("protection") or {}
     return {
         "seed": bundle.get("seed"),
         "pps_sim": throughput.get("udp_pps_sim"),
@@ -76,6 +78,8 @@ def _row(bundle: Dict[str, Any]) -> Dict[str, Any]:
         "loss_ratio": workload.get("loss_ratio"),
         "sla_violation_ratio": sla.get("violation_ratio"),
         "mttr_avg": recovery.get("mttr_avg"),
+        "mttr_p50": recovery.get("mttr_p50"),
+        "flips": protection.get("flips"),
         "repairs": recovery.get("repairs"),
         "unrecovered": len(recovery.get("unrecovered") or ()),
         "chains_deployed": len(bundle.get("chains", {})
@@ -105,7 +109,7 @@ class CampaignReport:
     def aggregate(self) -> Dict[str, Any]:
         keys = ("pps_sim", "pps_wall", "delay_p50", "delay_p99",
                 "loss_ratio", "sla_violation_ratio", "mttr_avg",
-                "events", "coalesce_ratio")
+                "mttr_p50", "flips", "events", "coalesce_ratio")
         summary: Dict[str, Any] = {
             key: _mean([row[key] for row in self.rows]) for key in keys}
         summary["seeds"] = [row["seed"] for row in self.rows]
@@ -143,7 +147,7 @@ def _fmt(value: Optional[float], pattern: str = "%.4g") -> str:
 _COLUMNS = (
     ("seed", 6), ("pps_sim", 9), ("pps_wall", 9), ("p50[ms]", 8),
     ("p99[ms]", 8), ("loss", 7), ("sla-viol", 8), ("mttr[s]", 8),
-    ("unrec", 5), ("events", 8), ("coalesce", 8),
+    ("flips", 5), ("unrec", 5), ("events", 8), ("coalesce", 8),
 )
 
 
@@ -157,6 +161,7 @@ def _render_row(label: str, row: Dict[str, Any]) -> str:
         _fmt(row["loss_ratio"], "%.4f"),
         _fmt(row["sla_violation_ratio"], "%.4f"),
         _fmt(row["mttr_avg"], "%.3f"),
+        _fmt(row.get("flips"), "%.0f"),
         str(row["unrecovered"]),
         _fmt(row.get("events"), "%.0f"),
         _fmt(row.get("coalesce_ratio"), "%.3f"),
@@ -188,8 +193,9 @@ def render_report(bundles: List[Dict[str, Any]]) -> str:
 
 CSV_FIELDS = ("scenario", "seed", "pps_sim", "pps_wall", "delay_p50",
               "delay_p99", "loss_ratio", "sla_violation_ratio",
-              "mttr_avg", "repairs", "unrecovered", "chains_deployed",
-              "chains_failed", "events", "coalesce_ratio")
+              "mttr_avg", "mttr_p50", "flips", "repairs", "unrecovered",
+              "chains_deployed", "chains_failed", "events",
+              "coalesce_ratio")
 
 
 def render_csv(bundles: List[Dict[str, Any]]) -> str:

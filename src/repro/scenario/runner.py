@@ -10,18 +10,21 @@ subscriber workload, and writes one **result bundle** under::
         bundle.json     # everything below, self-contained
         events.jsonl    # the structured event log of the run
 
-Bundle schema (``schema`` = 2): ``scenario`` (the spec), ``seed``,
+Bundle schema (``schema`` = 3): ``scenario`` (the spec), ``seed``,
 ``workload`` (delivery + p50/p99 one-way delay), ``chains``
 (deployed/failed), ``sla`` (per-chain state, breach/violation counts,
-violation ratio), ``recovery`` (actions, MTTR stats, unrecovered),
-``chaos`` (the injection ledger), ``throughput`` (``udp_pps_wall``,
+violation ratio), ``recovery`` (actions, MTTR stats with percentiles,
+unrecovered), ``protection`` (fast-failover state: enabled flag,
+protected path count, dataplane bucket flips), ``chaos`` (the
+injection ledger), ``throughput`` (``udp_pps_wall``,
 ``udp_pps_sim``), ``metrics`` (the full telemetry snapshot),
 ``dispatch`` (per-event-kind accounting report, unless the scenario
 sets ``accounting: false``), ``calibration_s`` (host-speed
 normalizer, so ``escape perf diff`` can compare bundles from
 different machines), and ``profiler`` (per-region report when the
 scenario enables profiling).  Schema 1 bundles lacked ``dispatch``
-and ``calibration_s``.
+and ``calibration_s``; schema 2 lacked ``protection`` and the MTTR
+percentiles.
 
 The runner never swallows a failed run: chain deploys that raise are
 recorded and counted, and :meth:`CampaignRunner.gate` reproduces the
@@ -40,7 +43,7 @@ from repro.scenario.workload import WorkloadDriver, build_workload
 from repro.scenario.zoo import build_topology
 from repro.telemetry.regression import calibrate
 
-BUNDLE_SCHEMA = 2
+BUNDLE_SCHEMA = 3
 BUNDLE_NAME = "bundle.json"
 EVENTS_NAME = "events.jsonl"
 
@@ -81,6 +84,15 @@ def _sla_summary(escape: ESCAPE) -> Dict[str, Any]:
     }
 
 
+def _percentile(values: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (q in [0, 1]); None on empty input."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
 def _recovery_summary(escape: ESCAPE) -> Dict[str, Any]:
     actions = [dict(action) for action in escape.recovery.actions]
     mttrs = [action["mttr"] for action in actions
@@ -89,10 +101,23 @@ def _recovery_summary(escape: ESCAPE) -> Dict[str, Any]:
         "actions": actions,
         "repairs": sum(1 for action in actions if action.get("ok")),
         "gave_up": sum(1 for action in actions if not action.get("ok")),
+        "flips": sum(1 for action in actions
+                     if action.get("kind") == "flip"),
         "mttr_avg": (sum(mttrs) / len(mttrs)) if mttrs else None,
+        "mttr_p50": _percentile(mttrs, 0.5),
+        "mttr_p90": _percentile(mttrs, 0.9),
         "mttr_max": max(mttrs) if mttrs else None,
         "unrecovered": escape.recovery.unrecovered(),
         "pending": ["%s/%s" % key for key in escape.recovery.pending()],
+    }
+
+
+def _protection_summary(escape: ESCAPE) -> Dict[str, Any]:
+    return {
+        "enabled": escape.orchestrator.protection,
+        "protected_paths": len(escape.steering.protected_paths()),
+        "flips": sum(switch.datapath.group_flip_count
+                     for switch in escape.net.switches()),
     }
 
 
@@ -195,6 +220,7 @@ class CampaignRunner:
             "chains": {"deployed": deployed, "failed": failed},
             "sla": _sla_summary(escape),
             "recovery": _recovery_summary(escape),
+            "protection": _protection_summary(escape),
             "chaos": {"injections": chaos_ledger,
                       "armed": engine is not None},
             "throughput": {

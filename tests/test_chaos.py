@@ -169,7 +169,7 @@ class TestScenarioParsing:
 
     def test_all_kinds_registered(self):
         assert set(FAULT_KINDS) == {
-            "link_down", "link_degrade", "vnf_crash",
+            "link_down", "link_flap", "link_degrade", "vnf_crash",
             "container_down", "netconf_blackhole", "netconf_slow"}
 
 

@@ -1,0 +1,511 @@
+"""Tests for proactive chain protection: the group table and its wire
+codec, port-liveness PortStatus propagation, disjoint backup path
+computation, fast-failover steering, flip-based recovery accounting
+and the link_flap chaos primitive."""
+
+import pytest
+
+from repro.chaos import FaultError, LinkFlapFault
+from repro.core import ESCAPE
+from repro.core.mapping import compute_backup_paths
+from repro.core.sgfile import load_service_graph, load_topology
+from repro.openflow import (ControllerChannel, Group, GroupBucket,
+                            GroupEntry, GroupError, GroupMod, GroupTable,
+                            Match, OpenFlowSwitch, Output, PortStatus)
+from repro.openflow.wire import (WireError, pack_message, unpack_message)
+from repro.sim import Simulator
+
+
+def bucket(port, watch=None):
+    return GroupBucket([Output(port)],
+                       watch_port=port if watch is None else watch)
+
+
+# -- the group table ----------------------------------------------------------
+
+
+class TestGroupTable:
+    def test_add_get_delete(self):
+        table = GroupTable()
+        table.add(1, GroupEntry.FAST_FAILOVER, [bucket(2)])
+        assert 1 in table and len(table) == 1
+        assert table.get(1).buckets[0].watch_port == 2
+        assert table.delete(1).group_id == 1
+        assert table.delete(1) is None  # DELETE of absent: no error
+
+    def test_duplicate_add_rejected(self):
+        table = GroupTable()
+        table.add(1, GroupEntry.FAST_FAILOVER, [bucket(2)])
+        with pytest.raises(GroupError) as info:
+            table.add(1, GroupEntry.FAST_FAILOVER, [bucket(3)])
+        assert info.value.code == GroupError.GROUP_EXISTS
+
+    def test_only_fast_failover_installs(self):
+        table = GroupTable()
+        with pytest.raises(GroupError) as info:
+            table.add(1, GroupMod.TYPE_SELECT, [bucket(2)])
+        assert info.value.code == GroupError.INVALID_GROUP
+
+    def test_empty_buckets_rejected(self):
+        table = GroupTable()
+        with pytest.raises(GroupError):
+            table.add(1, GroupEntry.FAST_FAILOVER, [])
+
+    def test_modify_unknown_group(self):
+        table = GroupTable()
+        with pytest.raises(GroupError) as info:
+            table.modify(9, GroupEntry.FAST_FAILOVER, [bucket(2)])
+        assert info.value.code == GroupError.UNKNOWN_GROUP
+
+    def test_modify_resets_current_bucket(self):
+        table = GroupTable()
+        entry = table.add(1, GroupEntry.FAST_FAILOVER, [bucket(2)])
+        entry.current_bucket = 1
+        again = table.modify(1, GroupEntry.FAST_FAILOVER,
+                             [bucket(2), bucket(3)])
+        assert again.current_bucket is None
+        assert len(again.buckets) == 2
+
+
+class _FakePort:
+    def __init__(self, up=True):
+        self.up = up
+
+
+class TestGroupEntrySelect:
+    def test_first_live_bucket_wins(self):
+        entry = GroupEntry(1, GroupEntry.FAST_FAILOVER,
+                           [bucket(2), bucket(3)])
+        ports = {2: _FakePort(up=True), 3: _FakePort(up=True)}
+        index, chosen = entry.select(ports)
+        assert index == 0 and chosen.actions == [Output(2)]
+        ports[2].up = False
+        index, chosen = entry.select(ports)
+        assert index == 1 and chosen.actions == [Output(3)]
+
+    def test_no_live_bucket(self):
+        entry = GroupEntry(1, GroupEntry.FAST_FAILOVER,
+                           [bucket(2), bucket(3)])
+        ports = {2: _FakePort(up=False), 3: _FakePort(up=False)}
+        assert entry.select(ports) is None
+
+    def test_watch_none_always_live(self):
+        entry = GroupEntry(1, GroupEntry.FAST_FAILOVER,
+                           [bucket(2), bucket(9, GroupBucket.WATCH_NONE)])
+        ports = {2: _FakePort(up=False)}
+        index, chosen = entry.select(ports)
+        assert index == 1 and chosen.actions == [Output(9)]
+
+
+# -- wire codec ---------------------------------------------------------------
+
+
+class TestGroupModWire:
+    def test_round_trip(self):
+        original = GroupMod(GroupMod.ADD, 7,
+                            buckets=[bucket(2), bucket(3)], xid=99)
+        again = unpack_message(pack_message(original))
+        assert isinstance(again, GroupMod)
+        assert again.command == GroupMod.ADD
+        assert again.group_id == 7 and again.xid == 99
+        assert again.group_type == GroupMod.TYPE_FAST_FAILOVER
+        assert again.buckets == original.buckets
+
+    def test_watch_none_round_trip(self):
+        original = GroupMod(GroupMod.MODIFY, 3,
+                            buckets=[bucket(4, GroupBucket.WATCH_NONE)])
+        again = unpack_message(pack_message(original))
+        assert again.buckets[0].watch_port == GroupBucket.WATCH_NONE
+
+    def test_delete_carries_no_buckets(self):
+        again = unpack_message(pack_message(GroupMod(GroupMod.DELETE, 5)))
+        assert again.command == GroupMod.DELETE
+        assert again.group_id == 5 and again.buckets == []
+
+    def test_group_action_round_trip(self):
+        original = GroupMod(GroupMod.ADD, 1,
+                            buckets=[GroupBucket([Group(12)],
+                                                 watch_port=2)])
+        again = unpack_message(pack_message(original))
+        assert again.buckets[0].actions == [Group(12)]
+
+    def test_truncated_body_rejected(self):
+        wire = pack_message(GroupMod(GroupMod.ADD, 7, buckets=[bucket(2)]))
+        header = wire[:8]
+        truncated = header[:2] + b"\x00\x0c" + header[4:] + wire[8:12]
+        with pytest.raises(WireError):
+            unpack_message(truncated)
+
+    def test_truncated_bucket_rejected(self):
+        wire = bytearray(pack_message(
+            GroupMod(GroupMod.ADD, 7, buckets=[bucket(2)])))
+        # corrupt the bucket length so it overruns the message body
+        wire[16:18] = b"\x00\xff"
+        with pytest.raises(WireError):
+            unpack_message(bytes(wire))
+
+
+# -- the switch: local flips and PortStatus -----------------------------------
+
+
+class HarnessedSwitch:
+    def __init__(self, ports=3):
+        self.sim = Simulator()
+        self.switch = OpenFlowSwitch(self.sim, dpid=1)
+        self.sent = {n: [] for n in range(1, ports + 1)}
+        for n in range(1, ports + 1):
+            port = self.switch.add_port(n)
+            port.transmit = self.sent[n].append
+        self.channel = ControllerChannel(self.sim)
+        self.received = []
+        self.channel.set_controller_receiver(self.received.append)
+        self.switch.connect_controller(self.channel)
+        self.sim.run(until=0.01)
+
+    def run(self, duration=0.01):
+        self.sim.run(until=self.sim.now + duration)
+
+    def messages(self, kind):
+        return [m for m in self.received if isinstance(m, kind)]
+
+
+def ff_group(gid=1, primary=2, backup=3):
+    return GroupMod(GroupMod.ADD, gid,
+                    buckets=[bucket(primary), bucket(backup)])
+
+
+def frame():
+    from repro.packet import Ethernet, IPv4, UDP
+    return Ethernet(src="00:00:00:00:00:01", dst="00:00:00:00:00:02",
+                    type=Ethernet.IP_TYPE,
+                    payload=IPv4(srcip="10.0.0.1", dstip="10.0.0.2",
+                                 protocol=IPv4.UDP_PROTOCOL,
+                                 payload=UDP(srcport=1,
+                                             dstport=2))).pack()
+
+
+class TestSwitchFailover:
+    def install(self, harness):
+        harness.channel.send_to_switch(ff_group())
+        from repro.openflow import FlowMod
+        harness.channel.send_to_switch(
+            FlowMod(Match(in_port=1), [Group(1)]))
+        harness.run()
+
+    def test_forwards_via_primary_bucket(self):
+        harness = HarnessedSwitch()
+        self.install(harness)
+        harness.switch.ports[1].receive(frame())
+        harness.run()
+        assert harness.sent[2] and not harness.sent[3]
+        assert harness.switch.group_flip_count == 0
+
+    def test_port_down_flips_to_backup_without_controller(self):
+        harness = HarnessedSwitch()
+        self.install(harness)
+        harness.switch.ports[1].receive(frame())
+        harness.run()
+        harness.switch.set_port_up(2, False)
+        harness.switch.ports[1].receive(frame())
+        harness.run()
+        assert len(harness.sent[3]) == 1  # repaired in the dataplane
+        assert harness.switch.group_flip_count == 1
+        # and flips back when the primary watch port heals
+        harness.switch.set_port_up(2, True)
+        harness.switch.ports[1].receive(frame())
+        harness.run()
+        assert len(harness.sent[2]) == 2
+        assert harness.switch.group_flip_count == 2
+
+    def test_all_buckets_dead_drops(self):
+        harness = HarnessedSwitch()
+        self.install(harness)
+        harness.switch.set_port_up(2, False)
+        harness.switch.set_port_up(3, False)
+        harness.switch.ports[1].receive(frame())
+        harness.run()
+        assert not harness.sent[2] and not harness.sent[3]
+
+    def test_set_port_up_emits_port_status(self):
+        harness = HarnessedSwitch()
+        harness.switch.set_port_up(2, False)
+        harness.run()
+        changes = [m for m in harness.messages(PortStatus)
+                   if m.reason == PortStatus.REASON_MODIFY]
+        assert changes and changes[-1].desc.port_no == 2
+        assert changes[-1].desc.link_down
+        harness.switch.set_port_up(2, True)
+        harness.run()
+        changes = [m for m in harness.messages(PortStatus)
+                   if m.reason == PortStatus.REASON_MODIFY]
+        assert not changes[-1].desc.link_down
+
+    def test_bad_group_mod_answered_with_error(self):
+        from repro.openflow.messages import ErrorMessage
+        harness = HarnessedSwitch()
+        harness.channel.send_to_switch(ff_group(gid=4))
+        harness.channel.send_to_switch(ff_group(gid=4))  # duplicate ADD
+        harness.run()
+        errors = harness.messages(ErrorMessage)
+        assert errors
+        assert errors[-1].error_type == ErrorMessage.TYPE_GROUP_MOD_FAILED
+        assert errors[-1].code == GroupError.GROUP_EXISTS
+
+
+# -- backup path computation --------------------------------------------------
+
+
+def topo(links, extra_nodes=()):
+    nodes = [
+        {"name": "h1", "role": "host"},
+        {"name": "h2", "role": "host"},
+        {"name": "c1", "role": "vnf_container", "cpu": 4, "mem": 4096},
+    ]
+    nodes.extend(extra_nodes)
+    return load_topology({"nodes": nodes, "links": links})
+
+
+SG = {
+    "name": "chain",
+    "saps": ["h1", "h2"],
+    "vnfs": [{"name": "fw", "type": "firewall",
+              "params": {"rules": "allow icmp, drop all"}}],
+    "chain": ["h1", "fw", "h2"],
+}
+
+DETOUR_LINKS = [
+    {"from": "h1", "to": "s1", "delay": 0.001},
+    {"from": "h2", "to": "s2", "delay": 0.001},
+    {"from": "s1", "to": "s2", "delay": 0.002},
+    {"from": "s1", "to": "s3", "delay": 0.003},
+    {"from": "s3", "to": "s2", "delay": 0.003},
+    {"from": "c1", "to": "s1", "delay": 0.0005},
+    {"from": "c1", "to": "s1", "delay": 0.0005},
+]
+
+SWITCHES = tuple({"name": name, "role": "switch"}
+                 for name in ("s1", "s2", "s3"))
+
+
+def deploy(topology, protection=True, extra_start=None):
+    escape = ESCAPE.from_topology(topology, protection=protection)
+    escape.start()
+    if extra_start is not None:
+        extra_start(escape)
+    chain = escape.deploy_service(load_service_graph(SG))
+    return escape, chain
+
+
+class TestBackupComputation:
+    def test_disjoint_detour_found(self):
+        escape, chain = deploy(topo(DETOUR_LINKS, SWITCHES))
+        info = chain.mapping.backup_info[("fw", "h2")]
+        assert info["disjoint"] is True and info["shared_edges"] == []
+        backup = chain.mapping.backup_paths[("fw", "h2")]
+        assert "s3" in backup  # rides the detour, not the trunk
+        escape.stop()
+
+    def test_no_alternative_disables_protection(self):
+        links = [link for link in DETOUR_LINKS
+                 if "s3" not in (link["from"], link["to"])]
+        switches = tuple(n for n in SWITCHES if n["name"] != "s3")
+        escape, chain = deploy(topo(links, switches))
+        assert ("fw", "h2") not in chain.mapping.backup_paths
+        info = chain.mapping.backup_info[("fw", "h2")]
+        assert info["disjoint"] is False
+        assert info["reason"] == "no alternative"
+        disabled = escape.telemetry.events.query(
+            name="protection.disabled")
+        assert disabled
+        escape.stop()
+
+    def test_backup_avoids_down_link(self):
+        # with the detour dead before deploy (and the recovery manager
+        # given time to mark the edge down in the view), the only
+        # remaining path is the primary: protection must not pick a
+        # dead link as the backup
+        def kill_detour(escape):
+            escape.net.links_between("s1", "s3")[0].set_up(False)
+            escape.run(0.2)
+        escape, chain = deploy(topo(DETOUR_LINKS, SWITCHES),
+                               extra_start=kill_detour)
+        assert ("fw", "h2") not in chain.mapping.backup_paths
+        escape.stop()
+
+    def test_maximally_disjoint_shares_unavoidable_edge(self):
+        # alternative exists only around the s1-s2 trunk; every path
+        # must still cross s2-s3 to reach h2 -> maximally disjoint
+        links = [
+            {"from": "h1", "to": "s1", "delay": 0.001},
+            {"from": "s1", "to": "s2", "delay": 0.002},
+            {"from": "s1", "to": "s4", "delay": 0.003},
+            {"from": "s4", "to": "s2", "delay": 0.003},
+            {"from": "s2", "to": "s3", "delay": 0.002},
+            {"from": "h2", "to": "s3", "delay": 0.001},
+            {"from": "c1", "to": "s1", "delay": 0.0005},
+            {"from": "c1", "to": "s1", "delay": 0.0005},
+        ]
+        switches = SWITCHES + ({"name": "s4", "role": "switch"},)
+        escape, chain = deploy(topo(links, switches))
+        info = chain.mapping.backup_info[("fw", "h2")]
+        assert info["disjoint"] is False
+        assert info["shared_edges"]  # the unavoidable s2-s3 hop
+        backup = chain.mapping.backup_paths[("fw", "h2")]
+        assert "s4" in backup
+        degraded = escape.telemetry.events.query(
+            name="protection.degraded")
+        assert degraded
+        escape.stop()
+
+    def test_recompute_clears_stale_entries(self):
+        escape, chain = deploy(topo(DETOUR_LINKS, SWITCHES))
+        assert ("fw", "h2") in chain.mapping.backup_paths
+        escape.net.links_between("s1", "s3")[0].set_up(False)
+        escape.run(0.2)  # the view learns of the down edge
+        compute_backup_paths(
+            load_service_graph(SG), chain.mapping,
+            escape.orchestrator.view)
+        assert ("fw", "h2") not in chain.mapping.backup_paths
+        escape.stop()
+
+    def test_backup_placement_prefers_other_container(self):
+        links = DETOUR_LINKS + [
+            {"from": "c2", "to": "s2", "delay": 0.0005},
+            {"from": "c2", "to": "s2", "delay": 0.0005},
+        ]
+        extra = SWITCHES + ({"name": "c2", "role": "vnf_container",
+                             "cpu": 4, "mem": 4096},)
+        escape, chain = deploy(topo(links, extra))
+        primary = chain.mapping.vnf_placement["fw"]
+        backup = chain.mapping.backup_placement["fw"]
+        assert backup != primary
+        escape.stop()
+
+    def test_single_container_has_no_backup_placement(self):
+        escape, chain = deploy(topo(DETOUR_LINKS, SWITCHES))
+        assert "fw" not in chain.mapping.backup_placement
+        escape.stop()
+
+
+# -- steering + recovery end to end -------------------------------------------
+
+
+class TestProtectedSteering:
+    def test_protected_install_and_group_index(self):
+        escape, chain = deploy(topo(DETOUR_LINKS, SWITCHES))
+        protected = escape.steering.protected_paths()
+        assert protected and all(p.startswith("chain/")
+                                 for p in protected)
+        assert escape.steering.group_mods_sent > 0
+        (dpid, gid), path_id = next(
+            iter(escape.steering._group_index.items()))
+        assert escape.steering.path_for_group(dpid, gid) == path_id
+        escape.stop()
+
+    def test_reactive_mode_installs_no_groups(self):
+        escape, chain = deploy(topo(DETOUR_LINKS, SWITCHES),
+                               protection=False)
+        assert escape.steering.protected_paths() == []
+        assert escape.steering.group_mods_sent == 0
+        escape.stop()
+
+    def test_port_status_event_names_affected_chains(self):
+        escape, chain = deploy(topo(DETOUR_LINKS, SWITCHES))
+        escape.net.links_between("s1", "s2")[0].set_up(False)
+        escape.run(0.2)
+        down = escape.telemetry.events.query(name="steering.port_down")
+        assert down
+        assert "chain" in down[0].tags["chains"].split(",")
+        escape.stop()
+
+    def test_flip_repairs_before_control_plane(self):
+        escape, chain = deploy(topo(DETOUR_LINKS, SWITCHES))
+        h1, h2 = escape.net.get("h1"), escape.net.get("h2")
+        train = h1.ping(h2.ip, count=200, interval=0.01)
+        escape.run(0.5)
+        escape.net.links_between("s1", "s2")[0].set_up(False)
+        escape.run(2.0)
+        flips = [a for a in escape.recovery.actions
+                 if a["kind"] == "flip"]
+        assert flips and flips[0]["mttr"] < 0.05  # beats reaction delay
+        reprotects = [a for a in escape.recovery.actions
+                      if a["kind"] == "reprotect"]
+        assert reprotects and reprotects[0]["mttr"] is None
+        assert not escape.recovery.unrecovered()
+        assert train.received > 0
+        escape.stop()
+
+    def test_reactive_fallback_when_unprotected(self):
+        escape, chain = deploy(topo(DETOUR_LINKS, SWITCHES),
+                               protection=False)
+        h1, h2 = escape.net.get("h1"), escape.net.get("h2")
+        h1.ping(h2.ip, count=200, interval=0.01)
+        escape.run(0.5)
+        escape.net.links_between("s1", "s2")[0].set_up(False)
+        escape.run(2.0)
+        kinds = {a["kind"] for a in escape.recovery.actions}
+        assert "flip" not in kinds and "reprotect" not in kinds
+        assert not escape.recovery.unrecovered()
+        assert sum(s.datapath.group_flip_count
+                   for s in escape.net.switches()) == 0
+        escape.stop()
+
+
+# -- the link_flap chaos primitive --------------------------------------------
+
+
+class TestLinkFlap:
+    def test_parameter_validation(self):
+        with pytest.raises(FaultError):
+            LinkFlapFault(at=1.0, period=0.0)
+        with pytest.raises(FaultError):
+            LinkFlapFault(at=1.0, flaps=0)
+
+    def test_describe_includes_cadence(self):
+        fault = LinkFlapFault(at=2.0, period=0.25, flaps=4)
+        data = fault.describe()
+        assert data["kind"] == "link_flap"
+        assert data["period"] == 0.25 and data["flaps"] == 4
+
+    def test_flap_timeline_is_deterministic(self):
+        escape, chain = deploy(topo(DETOUR_LINKS, SWITCHES),
+                               protection=False)
+        trunk = escape.net.links_between("s1", "s2")[0]
+        fault = LinkFlapFault(at=0.0, period=0.4, flaps=2)
+        assert trunk.name in fault.candidates(escape)
+        state = fault.inject(escape, trunk.name)
+        assert not trunk.up                      # first down: immediate
+        escape.run(0.3)
+        assert trunk.up                          # back up at 0.2
+        escape.run(0.2)
+        assert not trunk.up                      # second down at 0.4
+        escape.run(0.3)
+        assert trunk.up                          # final up at 0.6
+        fault.heal(escape, trunk.name, state)
+        assert trunk.up
+        escape.stop()
+
+    def test_heal_cancels_pending_cycles(self):
+        escape, chain = deploy(topo(DETOUR_LINKS, SWITCHES),
+                               protection=False)
+        trunk = escape.net.links_between("s1", "s2")[0]
+        fault = LinkFlapFault(at=0.0, period=1.0, flaps=5)
+        state = fault.inject(escape, trunk.name)
+        fault.heal(escape, trunk.name, state)
+        escape.run(3.0)
+        assert trunk.up  # no zombie down events left behind
+        escape.stop()
+
+    def test_scenario_engine_accepts_flap_kwargs(self):
+        escape, chain = deploy(topo(DETOUR_LINKS, SWITCHES),
+                               protection=False)
+        engine = escape.inject_chaos({
+            "name": "flappy", "seed": 7,
+            "faults": [{"kind": "link_flap", "at": 0.1,
+                        "period": 0.2, "flaps": 2}],
+        })
+        escape.run(1.5)
+        records = [r for r in engine.injections
+                   if r["kind"] == "link_flap"]
+        assert records and "skipped" not in records[0]
+        escape.stop()

@@ -234,7 +234,7 @@ class TestCampaignRunner:
 
     def test_bundle_contents(self, campaign):
         bundle = campaign.bundles[0]
-        assert bundle["schema"] == 2
+        assert bundle["schema"] == 3
         assert bundle["seed"] == 1
         assert bundle["scenario"]["name"] == "smoke"
         workload = bundle["workload"]
@@ -246,6 +246,9 @@ class TestCampaignRunner:
         assert bundle["chains"]["failed"] == []
         assert bundle["sla"]["monitored_chains"] == 1
         assert bundle["recovery"]["unrecovered"] == []
+        assert bundle["recovery"]["mttr_p50"] is None  # no faults ran
+        assert bundle["protection"] == {
+            "enabled": False, "protected_paths": 0, "flips": 0}
         assert bundle["throughput"]["udp_pps_wall"] > 0
 
     def test_bundle_carries_dispatch_accounting(self, campaign):
