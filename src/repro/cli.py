@@ -10,6 +10,8 @@
     escape perf report <source> [--json] [--limit N]
     escape perf diff <baseline> <current> [--threshold F] \\
                      [--json] [--no-gate]
+    escape flowtrace <bundle.json|flowtrace.jsonl|results-dir> \\
+                     [--chain NAME] [--json]
 
 ``scenario run`` executes the campaign (every ``--seed``, or the
 scenario's own ``seeds:`` list), writes one result bundle per run,
@@ -24,6 +26,11 @@ two and exits non-zero when a guarded region or throughput floor
 regressed beyond the threshold.  Both accept an attribution report, a
 ``BENCH_profile.json`` snapshot, a result ``bundle.json``, or a
 results directory holding exactly one bundle.
+
+``flowtrace`` renders the per-chain hop-latency breakdown (p50/p99
+per hop, attributed share of one-way delay, conformance counts) from
+a flowtrace-enabled run — a ``bundle.json``, a raw ``flowtrace.jsonl``
+postcard log, or a results directory containing either.
 
 Also reachable as ``python -m repro ...`` when the package is on
 ``PYTHONPATH`` but not installed.
@@ -99,6 +106,36 @@ def _add_perf_parser(subparsers) -> None:
     diff.add_argument("--no-gate", action="store_true",
                       help="exit 0 even when the gate found "
                            "regressions")
+
+
+def _add_flowtrace_parser(subparsers) -> None:
+    flowtrace = subparsers.add_parser(
+        "flowtrace", help="per-chain hop-latency breakdown from "
+                          "sampled path traces")
+    flowtrace.add_argument("source",
+                           help="bundle.json, flowtrace.jsonl, or a "
+                                "results dir containing either")
+    flowtrace.add_argument("--chain", default=None, metavar="NAME",
+                           help="show a single chain")
+    flowtrace.add_argument("--json", action="store_true",
+                           help="emit the report as JSON")
+
+
+def _cmd_flowtrace(args) -> int:
+    import json
+    from repro.telemetry.flowtrace import (FlowTraceError,
+                                           load_flowtrace_report,
+                                           render_flowtrace_report)
+    try:
+        report = load_flowtrace_report(args.source)
+    except (FlowTraceError, OSError, ValueError) as exc:
+        print("*** %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_flowtrace_report(report, chain=args.chain))
+    return 0
 
 
 def _cmd_scenario_run(args) -> int:
@@ -212,6 +249,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     subparsers = parser.add_subparsers(dest="command")
     _add_scenario_parser(subparsers)
     _add_perf_parser(subparsers)
+    _add_flowtrace_parser(subparsers)
     args = parser.parse_args(argv)
     if args.command == "scenario":
         if args.action == "run":
@@ -229,6 +267,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_perf_diff(args)
         parser.parse_args(["perf", "--help"])
         return 2
+    if args.command == "flowtrace":
+        return _cmd_flowtrace(args)
     parser.print_help()
     return 2
 

@@ -276,9 +276,10 @@ class Element:
         # into the telemetry registry by a snapshot-time collector)
         self.pushed_count = 0
         self.pulled_count = 0
-        # profiler handle bound once; the disabled path costs one
-        # attribute check per transfer
+        # profiler/flowtrace handles bound once; each disabled path
+        # costs one attribute check per transfer
         self._profiler = telemetry.current().profiler
+        self._flowtrace = telemetry.current().flowtrace
         self.add_read_handler("config", lambda: self.config)
         self.add_read_handler("class", lambda: type(self).__name__)
 

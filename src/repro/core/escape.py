@@ -41,8 +41,8 @@ from repro.openflow import Match
 from repro.pox import (Core, Discovery, L2LearningSwitch, OpenFlowNexus,
                        StatsCollector, TrafficSteering)
 from repro.sim import Simulator
-from repro.telemetry import (Telemetry, set_current, to_json,
-                             to_prometheus, write_snapshot)
+from repro.telemetry import (FlowTraceError, Telemetry, set_current,
+                             to_json, to_prometheus, write_snapshot)
 
 
 class ESCAPE:
@@ -76,6 +76,11 @@ class ESCAPE:
         # the simulator predates the bundle, so its dispatch profiler
         # hook is wired explicitly rather than via telemetry.current()
         self.sim.profiler = self.telemetry.profiler
+        # likewise the substrate: Network.build constructed links and
+        # switch datapaths before this bundle became current, so their
+        # bound-once hot-path handles point at the previous bundle —
+        # re-home them here
+        self._rebind_dataplane_handles()
         self.catalog = catalog or default_catalog()
 
         # orchestration layer: controller platform
@@ -122,6 +127,19 @@ class ESCAPE:
         self._finish_init(net)
 
     RPC_TIMEOUT = 10.0  # per-RPC deadline on outband NETCONF sessions
+
+    def _rebind_dataplane_handles(self) -> None:
+        """Point pre-built dataplane components at this bundle's
+        profiler/flowtrace.  Anything constructed after ``set_current``
+        above (click elements at deploy time, NETCONF sessions, the
+        steering module) binds correctly on its own."""
+        profiler = self.telemetry.profiler
+        flowtrace = self.telemetry.flowtrace
+        for link in self.net.links:
+            link._profiler = profiler
+            link._flowtrace = flowtrace
+        for switch in self.net.switches():
+            switch.datapath._flowtrace = flowtrace
 
     def _outband_dial(self, container, control_latency: float):
         """Fresh control pipe to ``container``: a new transport pair
@@ -439,7 +457,8 @@ class ESCAPE:
 
     def health(self) -> dict:
         """One-look operational summary: per-chain SLA state, recent
-        WARN/ERROR events and flight-recorder occupancy."""
+        WARN/ERROR events, per-cause link drop attribution and
+        flight-recorder occupancy."""
         from repro.telemetry import WARN as EV_WARN
         slas = {name: {"state": monitor.state,
                        "rounds": monitor.rounds,
@@ -454,6 +473,8 @@ class ESCAPE:
                          in self.service_layer.services.items()},
             "sla": slas,
             "alerts": alerts,
+            "links": self.net.link_stats(),
+            "flowtrace": self.telemetry.flowtrace.status(),
             "recorder": self.recorder.status(),
             "recovery": {
                 "chain_state": dict(self.recovery.chain_state),
@@ -554,12 +575,19 @@ class ESCAPE:
         (off by default, same overhead budget as the profiler)."""
         return self.sim.accounting
 
+    @property
+    def flowtrace(self):
+        """Sampled per-packet path tracing (off by default; see
+        :mod:`repro.telemetry.flowtrace`)."""
+        return self.telemetry.flowtrace
+
     def cli(self) -> CLI:
         """The interactive console: Mininet-style network commands plus
         ESCAPE service commands (services / deploy / undeploy / migrate
         / topology / metrics / trace), the observability commands
-        (health / sla / events / record / profile / dispatch / flame /
-        top / series) and fault-injection commands (chaos)."""
+        (health / sla / events / record / flowtrace / profile /
+        dispatch / flame / top / series) and fault-injection commands
+        (chaos)."""
         console = CLI(self.net)
         console.commands.update({
             "services": self._cli_services,
@@ -575,6 +603,7 @@ class ESCAPE:
             "sla": self._cli_sla,
             "events": self._cli_events,
             "record": self._cli_record,
+            "flowtrace": self._cli_flowtrace,
             "chaos": self._cli_chaos,
             "profile": self._cli_profile,
             "dispatch": self._cli_dispatch,
@@ -675,6 +704,17 @@ class ESCAPE:
                                 alert["name"], alert["message"]))
         else:
             lines.append("no WARN/ERROR events recorded")
+        links = health["links"]
+        lines.append("links: %d delivered, drops: down=%d loss=%d "
+                     "queue=%d"
+                     % (links["delivered"], links["dropped_down"],
+                        links["dropped_loss"], links["dropped_queue"]))
+        flowtrace = health["flowtrace"]
+        if flowtrace["enabled"]:
+            lines.append("flowtrace: 1/%d sampling, %d trace(s), "
+                         "%d postcard(s)"
+                         % (flowtrace["rate"], flowtrace["traces"],
+                            flowtrace["postcards"]))
         taps = health["recorder"]
         lines.append("flight recorder: %d tap(s)" % len(taps))
         return "\n".join(lines)
@@ -762,9 +802,95 @@ class ESCAPE:
                     return "*** trace-id must be an integer"
             count = recorder.export_pcap(rest[0], trace_id=trace_id)
             return "wrote %d frames to %s" % (count, rest[0])
+        if command == "flow":
+            if len(rest) != 1:
+                return "usage: record flow <flowtrace-id>"
+            try:
+                flow_trace = int(rest[0], 0)
+            except ValueError:
+                return "*** flowtrace-id must be an integer"
+            selected = recorder.records(flow_trace=flow_trace)
+            lines = ["%d ring record(s) for flowtrace %08x"
+                     % (len(selected), flow_trace)]
+            lines.extend(record.render() for record in selected)
+            trace = self.flowtrace._traces.get(flow_trace)
+            if trace is not None:
+                lines.append("%d postcard(s):" % len(trace.hops))
+                for hop_time, kind, hop, dpid in trace.hops:
+                    lines.append("  %.6f %-9s %s%s"
+                                 % (hop_time, kind, hop,
+                                    " dpid=%d" % dpid
+                                    if dpid is not None else ""))
+            return "\n".join(lines)
         return ("usage: record [list|status] | start <link|node1 node2> "
                 "| chain <service> | stop <tap|all> | pcap <file> "
-                "[trace-id]")
+                "[trace-id] | flow <flowtrace-id>")
+
+    def _cli_flowtrace(self, args) -> str:
+        from repro.telemetry import render_flowtrace_report
+        flowtrace = self.flowtrace
+        if not args or args[0] == "status":
+            status = flowtrace.status()
+            return ("flowtrace %s: 1/%d sampling (seed %d), "
+                    "%d trace(s), %d postcard(s), %d evicted, "
+                    "%d path(s) registered"
+                    % ("on" if status["enabled"] else "off",
+                       status["rate"], status["seed"],
+                       status["traces"], status["postcards"],
+                       status["evicted"], status["paths_registered"]))
+        command, rest = args[0], args[1:]
+        if command == "on":
+            try:
+                flowtrace.enable(
+                    rate=int(rest[0]) if rest else None,
+                    seed=int(rest[1]) if len(rest) > 1 else None)
+            except (ValueError, FlowTraceError) as exc:
+                return "*** %s" % exc
+            return ("flowtrace on: sampling 1/%d, seed %d"
+                    % (flowtrace.rate, flowtrace.seed))
+        if command == "off":
+            flowtrace.disable()
+            return "flowtrace off (%d trace(s) kept)" % len(flowtrace)
+        if command == "reset":
+            flowtrace.reset()
+            return "flowtrace reset"
+        if command == "report":
+            report = flowtrace.publish(self.telemetry.metrics)
+            return render_flowtrace_report(
+                report, chain=rest[0] if rest else None)
+        if command == "traces":
+            limit = int(rest[0]) if rest else 10
+            records = flowtrace.trace_records()[-limit:]
+            if not records:
+                return "no sampled traces collected"
+            lines = ["%-10s %10s %6s %-20s %11s %s"
+                     % ("TRACE", "T", "HOPS", "CHAIN", "ONE-WAY",
+                        "CONFORMANT")]
+            for record in records:
+                lines.append("%08x %10.4f %6d %-20s %9.3fms %s"
+                             % (record["trace"], record["time"],
+                                len(record["hops"]),
+                                record["chain"] or "-",
+                                record["one_way"] * 1e3,
+                                {True: "yes", False: "NO",
+                                 None: "-"}[record["conformant"]]))
+            return "\n".join(lines)
+        if command == "chain":
+            if len(rest) != 2:
+                return "usage: flowtrace chain <name> <rate>"
+            try:
+                flowtrace.set_chain_rate(rest[0], int(rest[1]))
+            except (ValueError, FlowTraceError) as exc:
+                return "*** %s" % exc
+            return "chain %s sampled at 1/%s" % (rest[0], rest[1])
+        if command == "jsonl":
+            if len(rest) != 1:
+                return "usage: flowtrace jsonl <output-file>"
+            count = flowtrace.write_jsonl(rest[0])
+            return "wrote %d trace(s) to %s" % (count, rest[0])
+        return ("usage: flowtrace [status] | on [rate] [seed] | off | "
+                "reset | report [chain] | traces [limit] | "
+                "chain <name> <rate> | jsonl <file>")
 
     def _cli_chaos(self, args) -> str:
         if not args or args[0] == "status":

@@ -67,9 +67,12 @@ class Link:
         # per-frame transmit path avoids re-deriving the far end
         self._fwd = (self._dir1, intf2)
         self._rev = (self._dir2, intf1)
-        # profiler handle bound once, same contract as click elements:
-        # the disabled path costs one attribute check per frame
+        # profiler/flowtrace handles bound once, same contract as click
+        # elements: each disabled path costs one attribute check per
+        # frame (ESCAPE re-homes these for links built before its
+        # bundle became current)
         self._profiler = telemetry.current().profiler
+        self._flowtrace = telemetry.current().flowtrace
         # per-cause drop counters: chaos scenarios assert on *why*
         # frames died, not just how many
         self.dropped_down = 0
@@ -189,6 +192,9 @@ class Link:
             direction.busy_until = depart
             direction.queued_packets += 1
         extra = self._rng.uniform(0.0, self.jitter) if self.jitter else 0.0
+        flowtrace = self._flowtrace
+        if flowtrace.enabled:
+            flowtrace.record("link.tx", self.name, now, data)
         self.sim.schedule(depart - now + self.delay + extra,
                           self._deliver, direction, target, data)
 
@@ -203,6 +209,9 @@ class Link:
         self.delivered_bytes += len(data)
         if self.taps:
             self._notify_taps("rx", target, data)
+        flowtrace = self._flowtrace
+        if flowtrace.enabled:
+            flowtrace.record("link.rx", self.name, self.sim.now, data)
         target.deliver(data)
 
     def __repr__(self) -> str:

@@ -1,6 +1,7 @@
 """Emulated nodes: the Node base class, Host (with a small IP stack)
 and Switch (wrapping an OpenFlow datapath)."""
 
+import struct
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.netem.interface import Interface
@@ -255,11 +256,18 @@ class Host(Node):
                 return
             session.sent_at[seq] = self.sim.now
             result.record_sent()
+            # per-packet-unique payload (sender, session, seq, send
+            # time) repeated to size: flow telemetry hashes frame
+            # tails, and concurrent ping sessions must not collide
+            head = struct.pack("!4sHId", self.ip.raw, ping_id & 0xFFFF,
+                               seq, self.sim.now)
+            padded = (head * (payload_size // len(head) + 1)
+                      )[:payload_size] if payload_size else b""
             self.send_ip(IPv4(srcip=self.ip, dstip=dst,
                               protocol=IPv4.ICMP_PROTOCOL,
                               payload=ICMP(type=ICMP.TYPE_ECHO_REQUEST,
                                            id=ping_id, seq=seq,
-                                           payload=b"\x00" * payload_size)))
+                                           payload=padded)))
             if seq < count:
                 self.sim.schedule(interval, send_next, seq + 1)
 

@@ -238,12 +238,16 @@ class FlightRecorder:
 
     def records(self, link: Optional[str] = None,
                 trace_id: Optional[int] = None,
+                flow_trace: Optional[int] = None,
                 since: Optional[float] = None,
                 limit: Optional[int] = None) -> List[TapRecord]:
         """Merged records across taps, in capture order.
 
         ``trace_id`` keeps only frames carrying an SLA probe emitted
-        under that span (the trace-join query).
+        under that span (the trace-join query); ``flow_trace`` keeps
+        only frames whose bytes hash to that flowtrace trace id, so
+        ring captures and telemetry postcards correlate on the same
+        packet.
         """
         selected = []
         for tap in self.taps.values():
@@ -254,11 +258,20 @@ class FlightRecorder:
                     continue
                 if trace_id is not None and record.trace_id != trace_id:
                     continue
+                if flow_trace is not None and \
+                        self.flow_trace_id(record) != flow_trace:
+                    continue
                 selected.append(record)
         selected.sort(key=lambda record: (record.time, record.seq))
         if limit is not None:
             selected = selected[-limit:]
         return selected
+
+    def flow_trace_id(self, record: TapRecord) -> int:
+        """The flowtrace trace id of a captured frame — the same
+        seeded digest :class:`repro.telemetry.FlowTrace` derives at
+        every hop, so a ring entry joins to its postcards."""
+        return self.telemetry.flowtrace.digest(record.data)
 
     def find_span(self, record: TapRecord):
         """The pipeline span that emitted this frame, or None."""

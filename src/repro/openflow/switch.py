@@ -118,6 +118,10 @@ class OpenFlowSwitch:
         # any table mutation bumps table.version and flushes it.
         self._microflow: Dict[tuple, tuple] = {}
         self._microflow_version = self.table.version
+        # flowtrace handle bound once (ESCAPE re-homes it for switches
+        # built before its bundle became current); the disabled path is
+        # one attribute check per frame
+        self._flowtrace = current_telemetry().flowtrace
 
     # -- ports ----------------------------------------------------------------
 
@@ -203,6 +207,13 @@ class OpenFlowSwitch:
 
     def process_packet(self, in_port: int, data: bytes) -> None:
         """Run one frame through the flow table."""
+        flowtrace = self._flowtrace
+        if flowtrace.enabled:
+            # recorded ahead of the pipeline so microflow hits are
+            # postcarded too — the conformance checker needs every
+            # switch a sampled packet visits
+            flowtrace.record("switch", self.name, self.sim.now, data,
+                             dpid=self.dpid)
         seq = self._pkt_seq
         self._pkt_seq = seq + 1
         if self.SAMPLE_EVERY and seq % self.SAMPLE_EVERY == 0:

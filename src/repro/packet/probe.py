@@ -52,13 +52,19 @@ class Probe:
 
 def pack_probe(trace_id: int, seq: int, index: int, send_time: float,
                chain: str = "", pad_to: int = 0) -> bytes:
-    """Serialize one probe payload, zero-padded to ``pad_to`` bytes."""
+    """Serialize one probe payload, padded to ``pad_to`` bytes.
+
+    The padding repeats the header bytes rather than zero-filling so
+    the *tail* of a padded probe stays unique per packet — flow
+    telemetry derives trace ids from the trailing frame bytes (the
+    part VLAN tagging and header rewrites leave alone)."""
     name = chain.encode("utf-8")
     payload = _HEAD.pack(PROBE_MAGIC, PROBE_VERSION, trace_id & 0xFFFFFFFF,
                          seq & 0xFFFFFFFF, index & 0xFFFF, send_time,
                          len(name)) + name
     if pad_to > len(payload):
-        payload += b"\x00" * (pad_to - len(payload))
+        pad = pad_to - len(payload)
+        payload += (payload * (pad // len(payload) + 1))[:pad]
     return payload
 
 

@@ -172,6 +172,19 @@ class TrafficSteering:
 
     # -- path installation -------------------------------------------------
 
+    def _register_expected_path(self, path_id: str, match: Match,
+                                hops: List[PathHop],
+                                backup_hops=None) -> None:
+        """Tell the flow-telemetry conformance checker what path this
+        match is *supposed* to take; the chain name is the path id's
+        leading segment (``<chain>/<segment>``).  Backup dpids are
+        registered as acceptable alternates so a fast-failover flip is
+        not reported as mis-steering."""
+        self.telemetry.flowtrace.register_path(
+            path_id, path_id.split("/", 1)[0], match,
+            [hop.dpid for hop in hops],
+            alt_dpids=[hop.dpid for hop in (backup_hops or [])])
+
     def install_path(self, path_id: str, hops: List[PathHop],
                      match: Match) -> None:
         """Install flow entries steering ``match`` traffic along ``hops``.
@@ -204,6 +217,7 @@ class TrafficSteering:
                 self._m_flow_mods.inc()
         self.paths[path_id] = _InstalledPath(path_id, list(hops),
                                              flow_mods, vlan)
+        self._register_expected_path(path_id, match, hops)
         self.telemetry.events.debug(
             "pox.steering", "steering.path_installed",
             "%s: %d hops, %d flow-mods" % (path_id, len(hops),
@@ -305,6 +319,8 @@ class TrafficSteering:
         self.paths[path_id] = _InstalledPath(
             path_id, list(hops), flow_mods, None,
             group_mods=group_mods, backup_hops=list(backup_hops))
+        self._register_expected_path(path_id, match, hops,
+                                     backup_hops=backup_hops)
         self.telemetry.events.debug(
             "pox.steering", "steering.path_installed",
             "%s: %d+%d hops, %d flow-mods, %d failover group(s)"
@@ -395,6 +411,7 @@ class TrafficSteering:
             self._m_group_mods.inc()
         if installed.vlan is not None:
             self._vlans_in_use.discard(installed.vlan)
+        self.telemetry.flowtrace.unregister_path(path_id)
         self.telemetry.events.debug("pox.steering",
                                     "steering.path_removed", path_id,
                                     path=path_id)

@@ -9,8 +9,9 @@ subscriber workload, and writes one **result bundle** under::
     <results_dir>/<scenario-name>/seed-<seed>/
         bundle.json     # everything below, self-contained
         events.jsonl    # the structured event log of the run
+        flowtrace.jsonl # per-packet postcards (flowtrace scenarios)
 
-Bundle schema (``schema`` = 3): ``scenario`` (the spec), ``seed``,
+Bundle schema (``schema`` = 4): ``scenario`` (the spec), ``seed``,
 ``workload`` (delivery + p50/p99 one-way delay), ``chains``
 (deployed/failed), ``sla`` (per-chain state, breach/violation counts,
 violation ratio), ``recovery`` (actions, MTTR stats with percentiles,
@@ -21,10 +22,12 @@ injection ledger), ``throughput`` (``udp_pps_wall``,
 ``dispatch`` (per-event-kind accounting report, unless the scenario
 sets ``accounting: false``), ``calibration_s`` (host-speed
 normalizer, so ``escape perf diff`` can compare bundles from
-different machines), and ``profiler`` (per-region report when the
-scenario enables profiling).  Schema 1 bundles lacked ``dispatch``
-and ``calibration_s``; schema 2 lacked ``protection`` and the MTTR
-percentiles.
+different machines), ``profiler`` (per-region report when the
+scenario enables profiling), and ``flowtrace`` (per-chain hop-latency
+breakdown + conformance, when the scenario carries a ``flowtrace``
+section).  Schema 1 bundles lacked ``dispatch`` and
+``calibration_s``; schema 2 lacked ``protection`` and the MTTR
+percentiles; schema 3 lacked ``flowtrace``.
 
 The runner never swallows a failed run: chain deploys that raise are
 recorded and counted, and :meth:`CampaignRunner.gate` reproduces the
@@ -43,9 +46,10 @@ from repro.scenario.workload import WorkloadDriver, build_workload
 from repro.scenario.zoo import build_topology
 from repro.telemetry.regression import calibrate
 
-BUNDLE_SCHEMA = 3
+BUNDLE_SCHEMA = 4
 BUNDLE_NAME = "bundle.json"
 EVENTS_NAME = "events.jsonl"
+FLOWTRACE_NAME = "flowtrace.jsonl"
 
 
 class ScenarioError(Exception):
@@ -191,6 +195,18 @@ class CampaignRunner:
         if scenario.accounting:
             escape.accounting.reset()
             escape.accounting.enable()
+        if scenario.flowtrace:
+            flowtrace_spec = scenario.flowtrace
+            escape.flowtrace.reset()
+            # the sampler seed defaults to the run seed: same seed +
+            # same scenario replays a byte-identical sampled set
+            escape.flowtrace.enable(
+                rate=int(flowtrace_spec.get("rate", 64)),
+                seed=int(flowtrace_spec.get("seed", seed)))
+            for chain_name, chain_rate in sorted(
+                    (flowtrace_spec.get("chains") or {}).items()):
+                escape.flowtrace.set_chain_rate(chain_name,
+                                                int(chain_rate))
         driver = WorkloadDriver(escape.net, schedule).arm()
         run_started = time.perf_counter()
         escape.run(scenario.duration)
@@ -201,6 +217,13 @@ class CampaignRunner:
             escape.profiler.disable()
         if scenario.accounting:
             escape.accounting.disable()
+        flowtrace_report = None
+        if scenario.flowtrace:
+            escape.flowtrace.disable()
+            # publish() pushes per-chain gauges into the registry so
+            # the metrics snapshot below carries flowtrace.* series
+            flowtrace_report = escape.flowtrace.publish(
+                escape.telemetry.metrics)
         if engine is not None:
             engine.heal_all()
             escape.run(0.5)
@@ -235,6 +258,8 @@ class CampaignRunner:
             bundle["dispatch"] = escape.accounting.report()
         if scenario.profile:
             bundle["profiler"] = escape.profiler.report()
+        if flowtrace_report is not None:
+            bundle["flowtrace"] = flowtrace_report
 
         if write:
             run_dir = self.run_dir(seed)
@@ -244,6 +269,12 @@ class CampaignRunner:
                 "path": events_path,
                 "count": escape.telemetry.events.write_jsonl(events_path),
             }
+            if flowtrace_report is not None:
+                flowtrace_path = os.path.join(run_dir, FLOWTRACE_NAME)
+                bundle["flowtrace"]["jsonl"] = {
+                    "path": flowtrace_path,
+                    "count": escape.flowtrace.write_jsonl(flowtrace_path),
+                }
             with open(os.path.join(run_dir, BUNDLE_NAME), "w") as handle:
                 json.dump(bundle, handle, indent=2, sort_keys=True)
                 handle.write("\n")

@@ -234,6 +234,7 @@ class Scenario:
                  mapper: str = "shortest-path",
                  profile: bool = False,
                  accounting: bool = True,
+                 flowtrace: Optional[Dict[str, Any]] = None,
                  escape_options: Optional[Dict[str, Any]] = None):
         if not name:
             raise SpecError("scenario needs a name")
@@ -255,11 +256,18 @@ class Scenario:
         # dispatch accounting is cheap enough to default on: bundles
         # then always carry a per-event-kind attribution section
         self.accounting = bool(accounting)
+        # sampled per-packet path tracing: {"rate": N, "seed": S,
+        # "chains": {name: coarser-rate}}; seed defaults to the run
+        # seed so sampled sets replay bit-identically
+        if flowtrace is not None and not isinstance(flowtrace, dict):
+            raise SpecError("flowtrace must be a mapping (rate/seed/"
+                            "chains), got %r" % (flowtrace,))
+        self.flowtrace = dict(flowtrace) if flowtrace else None
         self.escape_options = dict(escape_options or {})
 
     KNOWN_KEYS = ("name", "description", "topology", "duration", "seeds",
                   "workload", "chains", "sla", "chaos", "mapper",
-                  "profile", "accounting", "escape_options")
+                  "profile", "accounting", "flowtrace", "escape_options")
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Scenario":
@@ -294,6 +302,8 @@ class Scenario:
             data["sla"] = self.sla
         if self.chaos:
             data["chaos"] = self.chaos
+        if self.flowtrace:
+            data["flowtrace"] = self.flowtrace
         if self.escape_options:
             data["escape_options"] = self.escape_options
         return data

@@ -326,8 +326,12 @@ class WorkloadDriver:
         def send_next(remaining: int) -> None:
             if remaining <= 0:
                 return
-            payload = _FLOW_HEADER.pack(_FLOW_MAGIC, flow["id"],
-                                        self.sim.now) + b"\x00" * pad
+            head = _FLOW_HEADER.pack(_FLOW_MAGIC, flow["id"],
+                                     self.sim.now)
+            # pad by repeating the (per-packet unique) header instead
+            # of zero-filling: flow telemetry hashes the *tail* of the
+            # frame into its trace id
+            payload = head + (head * (pad // len(head) + 1))[:pad]
             source.send_udp(sink.ip, WORKLOAD_PORT, payload)
             self.sent[flow["id"]] += 1
             if remaining > 1:

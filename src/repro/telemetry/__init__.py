@@ -20,6 +20,10 @@ from repro.telemetry.events import (DEBUG, ERROR, INFO, SEVERITIES, WARN,
                                     Event, EventError, EventLog)
 from repro.telemetry.export import (snapshot_dict, to_json, to_prometheus,
                                     writable_path, write_snapshot)
+from repro.telemetry.flowtrace import (FlowTrace, FlowTraceError,
+                                       load_flowtrace_report,
+                                       render_flowtrace_report,
+                                       report_from_jsonl)
 from repro.telemetry.introspect import (IntrospectError, build_report,
                                         diff_reports, load_report,
                                         report_from_bundle)
@@ -30,13 +34,14 @@ from repro.telemetry.trace import NULL_SPAN, Span, Tracer
 
 __all__ = [
     "Counter", "DEBUG", "ERROR", "Event", "EventError", "EventLog",
-    "Gauge", "Histogram", "INFO", "IntrospectError", "Metric",
-    "MetricError", "MetricsRegistry", "NULL_REGION", "NULL_SPAN",
-    "Profiler", "RegionStat", "SEVERITIES", "Series", "Span",
-    "Telemetry", "Tracer", "WARN", "build_report", "current",
-    "diff_reports", "load_report", "profile", "report_from_bundle",
-    "set_current", "snapshot_dict", "to_json", "to_prometheus",
-    "writable_path", "write_snapshot",
+    "FlowTrace", "FlowTraceError", "Gauge", "Histogram", "INFO",
+    "IntrospectError", "Metric", "MetricError", "MetricsRegistry",
+    "NULL_REGION", "NULL_SPAN", "Profiler", "RegionStat", "SEVERITIES",
+    "Series", "Span", "Telemetry", "Tracer", "WARN", "build_report",
+    "current", "diff_reports", "load_flowtrace_report", "load_report",
+    "profile", "render_flowtrace_report", "report_from_bundle",
+    "report_from_jsonl", "set_current", "snapshot_dict", "to_json",
+    "to_prometheus", "writable_path", "write_snapshot",
 ]
 
 
@@ -56,8 +61,10 @@ class Telemetry:
         self.events = EventLog(clock=clock, capacity=event_capacity,
                                tracer=self.tracer)
         self.profiler = Profiler()
+        self.flowtrace = FlowTrace(events=self.events)
         self.metrics.add_collector(self._collect_event_counts)
         self.metrics.add_collector(self._collect_self_overhead)
+        self.metrics.add_collector(self._collect_flowtrace)
 
     def _collect_event_counts(self, registry: MetricsRegistry) -> None:
         for severity, count in self.events.counts().items():
@@ -90,6 +97,21 @@ class Telemetry:
         registry.gauge("telemetry.metrics.samples",
                        "series sampling sweeps taken").set(
             registry.sample_count)
+
+    def _collect_flowtrace(self, registry: MetricsRegistry) -> None:
+        flowtrace = self.flowtrace
+        registry.gauge("telemetry.flowtrace.enabled",
+                       "1 while postcard sampling is on").set(
+            1.0 if flowtrace.enabled else 0.0)
+        registry.gauge("telemetry.flowtrace.traces",
+                       "sampled packets currently collected").set(
+            len(flowtrace))
+        registry.gauge("telemetry.flowtrace.postcards",
+                       "per-hop postcards recorded").set(
+            flowtrace.postcards)
+        registry.gauge("telemetry.flowtrace.evicted",
+                       "sampled packets evicted from the bounded "
+                       "collector").set(flowtrace.evicted)
 
     def snapshot(self):
         return snapshot_dict(self.metrics, self.tracer, self.events)

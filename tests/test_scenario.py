@@ -234,7 +234,7 @@ class TestCampaignRunner:
 
     def test_bundle_contents(self, campaign):
         bundle = campaign.bundles[0]
-        assert bundle["schema"] == 3
+        assert bundle["schema"] == 4
         assert bundle["seed"] == 1
         assert bundle["scenario"]["name"] == "smoke"
         workload = bundle["workload"]
